@@ -1,0 +1,44 @@
+"""§5.4 claim: ThyNVM is negligible for compute-bound applications.
+
+"For the remaining SPEC CPU2006 applications, we verified that ThyNVM
+has negligible effect compared to the Ideal DRAM."  This bench runs
+compute-bound SPEC models (cache-resident footprints, long compute
+stretches) on Ideal DRAM and ThyNVM and asserts the claim's direction:
+normalized IPC within a few percent of 1.0.
+"""
+
+from repro.config import SystemConfig
+from repro.harness.runner import run_workload
+from repro.harness.tables import format_table, geometric_mean
+from repro.units import ms_to_cycles
+from repro.workloads.spec import SPEC_COMPUTE_MODELS, spec_trace
+
+
+def report() -> dict:
+    config = SystemConfig(epoch_cycles=ms_to_cycles(1))
+    results = {}
+    rows = []
+    for name, model in SPEC_COMPUTE_MODELS.items():
+        dram = run_workload("ideal_dram",
+                            spec_trace(model, 12000), config).stats
+        thynvm = run_workload("thynvm",
+                              spec_trace(model, 12000), config).stats
+        normalized = thynvm.ipc / dram.ipc
+        results[name] = normalized
+        rows.append([name, round(dram.ipc, 4), round(thynvm.ipc, 4),
+                     round(normalized, 4)])
+    rows.append(["geomean", "", "",
+                 round(geometric_mean(results.values()), 4)])
+    print()
+    print(format_table(
+        ["benchmark", "Ideal DRAM IPC", "ThyNVM IPC", "normalized"],
+        rows,
+        title="§5.4 claim: compute-bound SPEC — ThyNVM ~= Ideal DRAM"))
+    return results
+
+
+def test_claim_compute_bound(benchmark):
+    results = benchmark.pedantic(report, rounds=1, iterations=1)
+    assert geometric_mean(results.values()) > 0.88
+    for name, normalized in results.items():
+        assert normalized > 0.82, f"{name}: {normalized}"

@@ -1,0 +1,63 @@
+"""§1/§2.3 design-choice ablations beyond Table 1.
+
+DESIGN.md calls out three load-bearing design choices; this bench
+quantifies each against the full design on a mixed workload:
+
+* dual granularity (vs block-only / page-only — see also Table 1),
+* overlapped checkpointing (stall share vs the stop-the-world systems),
+* scheme-switch thresholds (22/16) versus never/always promoting.
+"""
+
+from repro.config import SystemConfig
+from repro.core.controller import ThyNVMPolicy
+from repro.harness.runner import execute
+from repro.harness.systems import build_system
+from repro.harness.tables import format_table
+from repro.workloads.micro import sliding_trace
+
+
+def _run(policy=None, config=None, num_ops=8000, **config_overrides):
+    config = (config or SystemConfig()).with_overrides(**config_overrides)
+    trace = sliding_trace(2 * 1024 * 1024, num_ops)
+    system = build_system("thynvm", config, policy=policy)
+    return execute(system, trace).stats
+
+
+def report() -> dict:
+    variants = {
+        "full design": _run(),
+        "no cooperation (§3.4 off)": _run(
+            policy=ThyNVMPolicy(temp_cooperation=False)),
+        "never promote (thresholds off)": _run(
+            promote_threshold=63, demote_threshold=0),
+        "always promote (threshold 1)": _run(
+            promote_threshold=1, demote_threshold=0),
+    }
+    rows = []
+    results = {}
+    for name, stats in variants.items():
+        results[name] = {
+            "cycles": stats.cycles,
+            "nvm_write_blocks": stats.nvm_write_blocks,
+            "ckpt_pct": 100 * stats.checkpoint_stall_fraction,
+            "promoted": stats.pages_promoted,
+        }
+        rows.append([name, stats.cycles, stats.nvm_write_blocks,
+                     round(100 * stats.checkpoint_stall_fraction, 2),
+                     stats.pages_promoted])
+    print()
+    print(format_table(
+        ["variant", "cycles", "NVM writes", "ckpt %", "promoted pages"],
+        rows, title="Design-choice ablations (Sliding, 2 MiB footprint)"))
+    return results
+
+
+def test_claims_ablation(benchmark):
+    results = benchmark.pedantic(report, rounds=1, iterations=1)
+    full = results["full design"]
+    # The full design must not be dramatically worse than any ablation
+    # (adaptivity should pick the better scheme), and the threshold
+    # mechanism must actually fire on a sliding working set.
+    assert full["promoted"] > 0
+    never = results["never promote (thresholds off)"]
+    assert full["cycles"] <= never["cycles"] * 1.3

@@ -1,0 +1,51 @@
+"""Extension bench: epoch-length sensitivity (the paper's 10 ms choice).
+
+The paper fixes the epoch at 10 ms "comparable to [61, 73]" without a
+sweep.  This bench sweeps the (scaled) epoch length on the Sliding
+micro-benchmark and reports the tradeoff the choice balances: shorter
+epochs bound data loss but checkpoint more often (more NVM traffic,
+more boundary flushes); longer epochs amortize overheads but raise the
+durability window and table pressure.
+"""
+
+from repro.config import SystemConfig
+from repro.harness.runner import run_workload
+from repro.harness.tables import format_table
+from repro.units import us_to_cycles
+from repro.workloads.micro import sliding_trace
+
+EPOCHS_US = (25, 50, 100, 200, 400, 800)
+
+
+def report() -> dict:
+    results = {}
+    rows = []
+    for epoch_us in EPOCHS_US:
+        config = SystemConfig(epoch_cycles=us_to_cycles(epoch_us))
+        trace = sliding_trace(2 * 1024 * 1024, 8000, seed=3)
+        stats = run_workload("thynvm", trace, config).stats
+        results[epoch_us] = {
+            "cycles": stats.cycles,
+            "epochs": stats.epochs_completed,
+            "nvm_writes": stats.nvm_write_blocks,
+            "ckpt_writes": stats.nvm_writes.get("checkpoint"),
+        }
+        rows.append([f"{epoch_us} µs", stats.cycles,
+                     stats.epochs_completed, stats.nvm_write_blocks,
+                     stats.nvm_writes.get("checkpoint")])
+    print()
+    print(format_table(
+        ["epoch", "cycles", "epochs", "NVM writes", "ckpt writes"],
+        rows, title="Extension: epoch-length sensitivity (Sliding)"))
+    return results
+
+
+def test_ext_epoch_length(benchmark):
+    results = benchmark.pedantic(report, rounds=1, iterations=1)
+    shortest, longest = EPOCHS_US[0], EPOCHS_US[-1]
+    # Shorter epochs => more checkpoints => more checkpoint traffic.
+    assert results[shortest]["epochs"] > results[longest]["epochs"]
+    assert (results[shortest]["ckpt_writes"]
+            >= results[longest]["ckpt_writes"])
+    # Longer epochs should not be slower overall.
+    assert results[longest]["cycles"] <= results[shortest]["cycles"] * 1.1

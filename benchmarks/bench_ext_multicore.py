@@ -1,0 +1,51 @@
+"""Extension bench: multi-core scaling under a shared LLC (Table 2).
+
+The paper's machine shares the LLC across cores ("2MB/core"); its
+evaluation reports single-program results.  This bench runs one
+Streaming instance per core on 1/2/4 cores and measures how ThyNVM's
+transparent checkpointing scales when multiple cores dirty memory
+concurrently — total work throughput should grow with cores while the
+checkpoint-stall share stays flat (the epoch boundary quiesces all
+cores together, but the flush is still initiate-only).
+"""
+
+from repro.config import SystemConfig
+from repro.harness.runner import execute
+from repro.harness.systems import build_system
+from repro.harness.tables import format_table
+from repro.workloads.micro import streaming_trace
+
+OPS_PER_CORE = 4000
+FOOTPRINT = 1024 * 1024
+
+
+def report() -> dict:
+    results = {}
+    rows = []
+    for num_cores in (1, 2, 4):
+        config = SystemConfig(num_cores=num_cores)
+        system = build_system("thynvm", config)
+        traces = [streaming_trace(FOOTPRINT, OPS_PER_CORE, seed=i)
+                  for i in range(num_cores)]
+        stats = execute(system, None, traces=traces).stats
+        work_rate = stats.instructions / stats.cycles
+        results[num_cores] = {
+            "cycles": stats.cycles,
+            "aggregate_ipc": work_rate,
+            "ckpt_stall": stats.checkpoint_stall_fraction,
+        }
+        rows.append([num_cores, stats.cycles, round(work_rate, 4),
+                     round(100 * stats.checkpoint_stall_fraction, 2)])
+    print()
+    print(format_table(
+        ["cores", "cycles", "aggregate IPC", "ckpt stall %"], rows,
+        title="Extension: ThyNVM multi-core scaling (Streaming per core)"))
+    return results
+
+
+def test_ext_multicore_scaling(benchmark):
+    results = benchmark.pedantic(report, rounds=1, iterations=1)
+    # Aggregate instruction throughput must grow with core count...
+    assert results[4]["aggregate_ipc"] > 1.5 * results[1]["aggregate_ipc"]
+    # ...and transparent checkpointing must not become stop-the-world.
+    assert results[4]["ckpt_stall"] < 0.2

@@ -1,0 +1,62 @@
+"""Extension bench (§6): the configurable-persistence tradeoff.
+
+The paper: "Such a system is only allowed to lose data updates that
+happened in the last n ms... ThyNVM can be configured to checkpoint
+data every n ms", and persistence "can also be explicitly triggered by
+the program via a new instruction".  This bench sweeps both knobs on
+the hash-table store: the epoch length (periodic durability window)
+and per-transaction explicit persist barriers — quantifying what
+stronger durability guarantees cost in throughput.
+"""
+
+from repro.config import SystemConfig
+from repro.harness.runner import run_workload
+from repro.harness.tables import format_table
+from repro.units import us_to_cycles
+from repro.workloads.kvstore.workload import KVWorkload, kv_trace
+
+EPOCH_US = (25, 100, 400)
+PERSIST_EVERY = (None, 16, 1)
+
+
+def report() -> dict:
+    results = {}
+    rows = []
+    for epoch_us in EPOCH_US:
+        config = SystemConfig(epoch_cycles=us_to_cycles(epoch_us))
+        for persist_every in PERSIST_EVERY:
+            workload = KVWorkload(structure="hashtable", request_size=64,
+                                  num_ops=600, preload=300,
+                                  persist_every=persist_every)
+            stats = run_workload("thynvm", kv_trace(workload), config).stats
+            label = ("periodic only" if persist_every is None
+                     else f"persist/{persist_every} txn")
+            key = (epoch_us, persist_every)
+            results[key] = {
+                "ktps": stats.throughput_tps / 1000,
+                "epochs": stats.epochs_completed,
+                "nvm_writes": stats.nvm_write_blocks,
+            }
+            rows.append([f"{epoch_us} µs", label,
+                         results[key]["ktps"],
+                         stats.epochs_completed,
+                         stats.nvm_write_blocks])
+    print()
+    print(format_table(
+        ["epoch", "durability", "KTPS", "epochs", "NVM writes"],
+        rows,
+        title="§6 extension: durability window vs throughput (hash table)"))
+    return results
+
+
+def test_ext_persistence_interval(benchmark):
+    results = benchmark.pedantic(report, rounds=1, iterations=1)
+    for epoch_us in EPOCH_US:
+        relaxed = results[(epoch_us, None)]
+        strict = results[(epoch_us, 1)]
+        # Per-transaction durability costs throughput and checkpoints.
+        assert strict["ktps"] < relaxed["ktps"]
+        assert strict["epochs"] > relaxed["epochs"]
+    # Longer periodic windows never hurt relaxed-mode throughput much.
+    assert (results[(400, None)]["ktps"]
+            >= 0.8 * results[(25, None)]["ktps"])

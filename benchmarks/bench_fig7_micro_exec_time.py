@@ -1,0 +1,40 @@
+"""Figure 7: execution time of micro-benchmarks, normalized to Ideal DRAM.
+
+Paper's headline shape: ThyNVM outperforms journaling (by ~10.2% avg)
+and shadow paging (~14.8% avg) on *every* access pattern; shadow paging
+is pathological under Random; ThyNVM lands between Ideal DRAM and the
+software baselines.
+"""
+
+from repro.harness.experiments import fig7_exec_time
+from repro.harness.systems import PRETTY_NAMES
+from repro.harness.tables import format_table, geometric_mean
+
+
+def report(results) -> dict:
+    series = fig7_exec_time(results)
+    systems = list(next(iter(series.values())).keys())
+    rows = []
+    for workload, values in series.items():
+        rows.append([workload] + [values[s] for s in systems])
+    rows.append(["geomean"] + [
+        geometric_mean(series[w][s] for w in series) for s in systems])
+    print()
+    print(format_table(
+        ["workload"] + [PRETTY_NAMES[s] for s in systems], rows,
+        title="Figure 7: relative execution time (lower is better)"))
+    return series
+
+
+def test_fig7_micro_exec_time(benchmark, micro_results):
+    series = benchmark.pedantic(report, args=(micro_results,),
+                                rounds=1, iterations=1)
+    # Shape assertions from the paper's Fig. 7 discussion.
+    for workload in series:
+        assert series[workload]["thynvm"] < series[workload]["journal"], \
+            f"ThyNVM should beat journaling on {workload}"
+        assert series[workload]["thynvm"] < series[workload]["shadow"], \
+            f"ThyNVM should beat shadow paging on {workload}"
+    # Shadow paging's pathological case is the random pattern.
+    assert series["Random"]["shadow"] == max(
+        series[w]["shadow"] for w in series)

@@ -1,0 +1,52 @@
+"""Figure 8: NVM write traffic breakdown and checkpointing-time share.
+
+Paper's shape: ThyNVM avoids the pathological traffic spikes of the
+baselines (shadow under Random); its traffic splits across CPU,
+checkpointing and migration (migration dominating under Streaming);
+and its time spent on checkpointing collapses to a few percent versus
+journaling's 18.9% and shadow paging's 15.2% averages.
+"""
+
+from repro.harness.experiments import fig8_write_traffic
+from repro.harness.systems import PRETTY_NAMES
+from repro.harness.tables import format_table
+
+
+def report(results) -> dict:
+    series = fig8_write_traffic(results)
+    rows = []
+    for workload, by_system in series.items():
+        for system, cells in by_system.items():
+            rows.append([
+                workload, PRETTY_NAMES[system],
+                cells["cpu_MB"], cells["checkpoint_MB"],
+                cells["migration_MB"], cells["total_MB"],
+                cells["ckpt_time_pct"],
+            ])
+    print()
+    print(format_table(
+        ["workload", "system", "cpu MB", "ckpt MB", "migr MB",
+         "total MB", "ckpt time %"],
+        rows,
+        title="Figure 8: NVM write traffic and checkpointing delay"))
+    return series
+
+
+def test_fig8_nvm_write_traffic(benchmark, micro_results):
+    series = benchmark.pedantic(report, args=(micro_results,),
+                                rounds=1, iterations=1)
+    for workload, by_system in series.items():
+        # ThyNVM overlaps checkpointing with execution: its stall share
+        # must be far below the stop-the-world baselines'.
+        assert (by_system["thynvm"]["ckpt_time_pct"]
+                < by_system["journal"]["ckpt_time_pct"] / 2)
+        assert (by_system["thynvm"]["ckpt_time_pct"]
+                < by_system["shadow"]["ckpt_time_pct"] / 2)
+    # Shadow paging's write amplification explodes under Random; ThyNVM
+    # stays within a sane factor of the direct CPU traffic.
+    random = series["Random"]
+    assert random["shadow"]["total_MB"] > 3 * random["thynvm"]["total_MB"]
+    # Streaming moves pages in and out of DRAM: migration traffic is a
+    # significant share for ThyNVM (paper's Fig. 8(b) observation).
+    streaming = series["Streaming"]["thynvm"]
+    assert streaming["migration_MB"] > 0.2 * streaming["total_MB"]

@@ -1,0 +1,51 @@
+"""Figure 9: key-value-store transaction throughput vs request size.
+
+Paper's shape: ThyNVM consistently beats journaling and shadow paging
+(avg +8.8%/+4.3% over journaling and +29.9%/+43.1% over shadow for the
+hash table / red-black tree) and lands close to the ideal systems;
+throughput falls as request size grows for every system.
+"""
+
+from repro.harness.experiments import fig9_throughput
+from repro.harness.systems import PRETTY_NAMES
+from repro.harness.tables import format_table, geometric_mean
+
+
+def report(name, results) -> dict:
+    series = fig9_throughput(results)
+    sizes = sorted(series)
+    systems = list(next(iter(series.values())).keys())
+    rows = [[size] + [series[size][s] for s in systems] for size in sizes]
+    print()
+    print(format_table(
+        ["request B"] + [PRETTY_NAMES[s] for s in systems], rows,
+        title=f"Figure 9 ({name}): transaction throughput (KTPS)"))
+    return series
+
+
+def _assert_shape(series) -> None:
+    sizes = sorted(series)
+    mean = {
+        system: geometric_mean(series[size][system] for size in sizes)
+        for system in series[sizes[0]]
+    }
+    assert mean["thynvm"] > mean["shadow"], "ThyNVM should beat shadow paging"
+    assert mean["thynvm"] > 0.9 * mean["journal"], \
+        "ThyNVM should be at least competitive with journaling"
+    # Throughput decreases with request size (paper's x-axis trend).
+    for system in mean:
+        assert series[sizes[0]][system] > series[sizes[-1]][system]
+
+
+def test_fig9a_hashtable_throughput(benchmark, kv_hashtable_results):
+    series = benchmark.pedantic(report, args=("hash table",
+                                              kv_hashtable_results),
+                                rounds=1, iterations=1)
+    _assert_shape(series)
+
+
+def test_fig9b_rbtree_throughput(benchmark, kv_rbtree_results):
+    series = benchmark.pedantic(report, args=("red-black tree",
+                                              kv_rbtree_results),
+                                rounds=1, iterations=1)
+    _assert_shape(series)

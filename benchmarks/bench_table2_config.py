@@ -1,0 +1,45 @@
+"""Table 2: the evaluated system configuration, printed for the record.
+
+Not a measurement — this bench verifies that the simulator's default
+parameters reproduce the paper's Table 2 and prints them alongside the
+derived address-space layout.
+"""
+
+from repro.config import SystemConfig
+from repro.core.regions import HardwareLayout
+from repro.harness.tables import format_table
+from repro.units import ns_to_cycles
+
+
+def report() -> SystemConfig:
+    config = SystemConfig()
+    rows = list(config.describe().items())
+    print()
+    print(format_table(["parameter", "value"], rows,
+                       title="Table 2: system configuration"))
+    layout = HardwareLayout(config)
+    print(f"\nHardware address space: NVM {layout.nvm_bytes >> 20} MiB "
+          f"(home/ckpt-B + ckpt-A + {layout.backup_bytes >> 10} KiB backup), "
+          f"DRAM {layout.dram_bytes >> 20} MiB "
+          f"(working region + temp slots)")
+    return config
+
+
+def test_table2_config(benchmark):
+    config = benchmark.pedantic(report, rounds=1, iterations=1)
+    # Table 2 verbatim checks.
+    assert config.dram.row_hit == ns_to_cycles(40)
+    assert config.dram.row_miss_clean == ns_to_cycles(80)
+    assert config.nvm.row_hit == ns_to_cycles(40)
+    assert config.nvm.row_miss_clean == ns_to_cycles(128)
+    assert config.nvm.row_miss_dirty == ns_to_cycles(368)
+    assert config.table_lookup_latency == ns_to_cycles(3)
+    assert config.l1.hit_latency == 4
+    assert config.l2.hit_latency == 12
+    assert config.l3.hit_latency == 28
+    assert config.btt_entries == 2048
+    assert config.ptt_entries == 4096
+    assert config.promote_threshold == 22
+    assert config.demote_threshold == 16
+    # ~37 KB of translation metadata (paper, §4.2).
+    assert 30_000 < config.metadata_bytes < 45_000

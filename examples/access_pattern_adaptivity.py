@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Watch ThyNVM adapt its checkpointing granularity to access patterns.
+
+The paper's core insight (§2.3/§3.4): sparse writes are best
+checkpointed per cache block (metadata-only persistence via block
+remapping), dense writes per page (DRAM caching + page writeback).
+This example runs the three micro-benchmarks and prints, for each, how
+the controller split its work between the two schemes — and what that
+did to NVM write traffic versus the single-granularity ablations.
+
+Run:  python examples/access_pattern_adaptivity.py
+"""
+
+from repro.baselines.single_granularity import (block_only_policy,
+                                                page_only_policy)
+from repro.config import SystemConfig
+from repro.harness.runner import execute
+from repro.harness.systems import build_system
+from repro.workloads.micro import random_trace, sliding_trace, streaming_trace
+
+FOOTPRINT = 2 * 1024 * 1024
+NUM_OPS = 8000
+
+WORKLOADS = {
+    "Random": random_trace,       # low spatial locality
+    "Streaming": streaming_trace,  # maximal spatial locality
+    "Sliding": sliding_trace,      # shifting locality
+}
+
+VARIANTS = {
+    "dual (ThyNVM)": None,
+    "block-only": block_only_policy,
+    "page-only": page_only_policy,
+}
+
+
+def main() -> None:
+    config = SystemConfig()
+    for workload_name, factory in WORKLOADS.items():
+        print(f"\n=== {workload_name} ===")
+        for variant_name, policy_factory in VARIANTS.items():
+            policy = policy_factory() if policy_factory else None
+            system = build_system("thynvm", config, policy=policy)
+            stats = execute(system, factory(FOOTPRINT, NUM_OPS)).stats
+            ctl = system.memsys
+            print(f"  {variant_name:14s}"
+                  f" cycles={stats.cycles:>10,}"
+                  f" NVM writes={stats.nvm_write_blocks:>6,}"
+                  f" promoted={stats.pages_promoted:>3}"
+                  f" BTT peak={ctl.btt.peak_occupancy:>5}"
+                  f" PTT peak={ctl.ptt.peak_occupancy:>4}")
+        print("  -> dual adapts: block remapping absorbs Random, page")
+        print("     writeback absorbs Streaming, Sliding migrates between.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Bug tolerance via checkpoint archiving — the paper's §6 extension.
+
+"[ThyNVM] can be extended to help enhance bug tolerance, e.g., by
+copying checkpoints to secondary storage periodically and devising
+mechanisms to find and recover to past bug-free checkpoints."
+
+Scenario: a software bug silently corrupts a counter at some epoch.
+Crash consistency alone recovers the *corrupted* (but consistent!)
+state — crash consistency is not bug tolerance.  The archive lets us
+search backwards for the last checkpoint where an application-level
+integrity check still passed, and recover to it.
+
+Run:  python examples/bug_tolerance_archive.py
+"""
+
+import struct
+
+from repro.config import small_test_config
+from repro.core.archive import CheckpointArchive
+from repro.core.controller import ThyNVMController
+from repro.mem.controller import MemoryController
+from repro.sim.engine import Engine
+from repro.sim.request import Origin
+from repro.stats.collector import StatsCollector
+
+BLOCK = 64
+COUNTER_BLOCK = 0
+CHECKSUM_BLOCK = 1
+
+
+def write_counter(ctl, engine, value: int, corrupt: bool = False) -> None:
+    """Store a counter plus its checksum (the app's integrity rule)."""
+    checksum = (value * 2654435761) & 0xFFFFFFFF
+    if corrupt:
+        checksum ^= 0xBAD          # the bug: checksum not updated right
+    ctl.write_block(COUNTER_BLOCK * BLOCK, Origin.CPU,
+                    data=struct.pack("<Q", value).ljust(BLOCK, b"\0"))
+    ctl.write_block(CHECKSUM_BLOCK * BLOCK, Origin.CPU,
+                    data=struct.pack("<Q", checksum).ljust(BLOCK, b"\0"))
+    engine.run(until=engine.now + 2_000)
+
+
+def integrity_ok(view) -> bool:
+    value = struct.unpack_from("<Q", view.visible_block(COUNTER_BLOCK))[0]
+    checksum = struct.unpack_from("<Q", view.visible_block(CHECKSUM_BLOCK))[0]
+    return checksum == (value * 2654435761) & 0xFFFFFFFF
+
+
+def main() -> None:
+    config = small_test_config(epoch_cycles=10 ** 12)
+    engine = Engine()
+    memctrl = MemoryController(engine, config, StatsCollector())
+    ctl = ThyNVMController(engine, config, memctrl,
+                           StatsCollector(config.block_bytes))
+    ctl.start()
+    archive = CheckpointArchive(ctl, every_n_epochs=1, num_blocks=4)
+
+    print("Epochs 0-2: healthy updates; epoch 3: a buggy update.")
+    for epoch in range(4):
+        write_counter(ctl, engine, value=1000 + epoch,
+                      corrupt=(epoch == 3))
+        ctl.force_epoch_end("app")
+        while ctl.committed_meta.epoch < epoch:
+            engine.run(until=engine.now + 10_000)
+
+    print("Crash!  Plain recovery returns the newest consistent state:")
+    ctl.crash()
+    recovered = ctl.recover()
+    value = struct.unpack_from("<Q",
+                               recovered.visible_block(COUNTER_BLOCK))[0]
+    print(f"  recovered epoch {recovered.epoch}: counter={value}, "
+          f"integrity {'OK' if integrity_ok(recovered) else 'VIOLATED'}")
+
+    print("\nSearching the archive for the last bug-free checkpoint:")
+    for epoch in sorted(archive.archived_epochs, reverse=True):
+        checkpoint = archive.recover_to(epoch)
+        ok = integrity_ok(checkpoint)
+        value = struct.unpack_from(
+            "<Q", checkpoint.visible_block(COUNTER_BLOCK))[0]
+        print(f"  epoch {epoch}: counter={value}, "
+              f"integrity {'OK' if ok else 'VIOLATED'}")
+        if ok:
+            print(f"\nRolled back to epoch {epoch}: crash consistency "
+                  f"recovers machines, archives recover applications.")
+            assert value == 1000 + epoch
+            break
+    else:
+        raise SystemExit("no bug-free checkpoint found")
+
+
+if __name__ == "__main__":
+    main()

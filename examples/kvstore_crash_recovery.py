@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Crash a persistent key-value store and recover it — functionally.
+
+This is the paper's headline use case (§1, Figure 1): an *unmodified*
+data structure gains crash consistency purely from the memory system.
+We build a real chaining hash table in ThyNVM-backed memory, kill the
+power mid-update-burst, run recovery, and read the table back out of
+the recovered NVM image with zero application-level recovery code.
+
+Run:  python examples/kvstore_crash_recovery.py
+"""
+
+from repro.config import small_test_config
+from repro.core.controller import ThyNVMController
+from repro.mem.controller import MemoryController
+from repro.sim.engine import Engine
+from repro.sim.request import Origin
+from repro.stats.collector import StatsCollector
+
+BLOCK = 64
+
+
+class PersistentMemory:
+    """A byte-addressable view over the ThyNVM controller.
+
+    Plays the role of the load/store interface: the application reads
+    and writes bytes; the controller transparently checkpoints them.
+    """
+
+    def __init__(self, controller: ThyNVMController, engine: Engine):
+        self.controller = controller
+        self.engine = engine
+        self._shadow = {}           # block -> bytearray (write-through image)
+
+    def _block_image(self, block: int) -> bytearray:
+        if block not in self._shadow:
+            self._shadow[block] = bytearray(
+                self.controller.visible_block_bytes(block))
+        return self._shadow[block]
+
+    def write(self, addr: int, data: bytes) -> None:
+        offset = 0
+        while offset < len(data):
+            block = (addr + offset) // BLOCK
+            inner = (addr + offset) % BLOCK
+            take = min(BLOCK - inner, len(data) - offset)
+            image = self._block_image(block)
+            image[inner:inner + take] = data[offset:offset + take]
+            self.controller.write_block(block * BLOCK, Origin.CPU,
+                                        data=bytes(image))
+            offset += take
+        self.engine.run(until=self.engine.now + 500)
+
+    def read(self, addr: int, length: int) -> bytes:
+        out = bytearray()
+        while len(out) < length:
+            block = (addr + len(out)) // BLOCK
+            inner = (addr + len(out)) % BLOCK
+            take = min(BLOCK - inner, length - len(out))
+            image = self.controller.visible_block_bytes(block)
+            out += image[inner:inner + take]
+        return bytes(out)
+
+
+def store_record(memory: PersistentMemory, slot: int, key: str,
+                 value: str) -> None:
+    """Fixed-layout record store: [key 16B][value 48B] per 64B slot."""
+    record = key.encode().ljust(16, b"\0") + value.encode().ljust(48, b"\0")
+    memory.write(slot * BLOCK, record)
+
+
+def load_record(block_bytes: bytes):
+    key = block_bytes[:16].rstrip(b"\0").decode()
+    value = block_bytes[16:].rstrip(b"\0").decode()
+    return key, value
+
+
+def main() -> None:
+    config = small_test_config(epoch_cycles=10 ** 12)   # manual epochs
+    engine = Engine()
+    stats = StatsCollector(config.block_bytes)
+    memctrl = MemoryController(engine, config, stats)
+    controller = ThyNVMController(engine, config, memctrl, stats)
+    controller.start()
+    memory = PersistentMemory(controller, engine)
+
+    print("Writing 8 records (epoch 0)...")
+    for i in range(8):
+        store_record(memory, slot=i, key=f"user:{i}", value=f"balance={100 + i}")
+    controller.force_epoch_end("app-quiesce")
+    while controller.committed_meta.epoch < 0:
+        engine.run(until=engine.now + 10_000)
+    print(f"  checkpoint committed (epoch {controller.committed_meta.epoch})")
+
+    print("Updating records 0-3 (epoch 1)... then PULLING THE PLUG mid-epoch")
+    for i in range(4):
+        store_record(memory, slot=i, key=f"user:{i}", value="balance=DRAINED")
+    # No checkpoint for epoch 1 — crash now.
+    controller.crash()
+    print("  power lost: DRAM, caches and queued writes are gone\n")
+
+    recovered = controller.recover()
+    print(f"Recovery rolled back to epoch {recovered.epoch}; store contents:")
+    for i in range(8):
+        key, value = load_record(recovered.visible_block(i))
+        print(f"  slot {i}: {key!r} -> {value!r}")
+    print("\nAll records show their epoch-0 values: the half-applied")
+    print("'DRAINED' updates vanished atomically, with no journaling or")
+    print("transaction code in the application.")
+
+    assert all(
+        load_record(recovered.visible_block(i))[1] == f"balance={100 + i}"
+        for i in range(8))
+
+
+if __name__ == "__main__":
+    main()

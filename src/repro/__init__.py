@@ -1,0 +1,29 @@
+"""ThyNVM reproduction: software-transparent crash consistency for
+hybrid DRAM+NVM persistent memory (Ren et al., MICRO 2015).
+
+Public entry points:
+
+* :func:`repro.harness.build_system` / :func:`repro.harness.run_workload`
+  — assemble and run a full simulated machine (CPU + caches + one of
+  the consistency systems) over a workload trace.
+* :class:`repro.core.ThyNVMController` — the paper's contribution, as a
+  standalone memory system that can also be driven directly.
+* :mod:`repro.workloads` — the paper's micro-benchmarks, key-value
+  stores and SPEC-like trace models.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from .config import DEFAULT_CONFIG, SystemConfig, small_test_config
+from .errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "DEFAULT_CONFIG",
+    "small_test_config",
+    "ReproError",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Baseline consistency systems the paper compares against (§5.1).
+
+* :class:`IdealController` — Ideal DRAM / Ideal NVM: single-device
+  memory with crash consistency assumed free.
+* :class:`JournalingController` — epoch-based redo journaling
+  (logging), stop-the-world checkpointing.
+* :class:`ShadowPagingController` — copy-on-write shadow paging,
+  stop-the-world checkpointing.
+* Single-granularity ThyNVM ablations (block-only / page-only) are
+  built from :class:`~repro.core.controller.ThyNVMPolicy` in
+  :mod:`repro.baselines.single_granularity`.
+"""
+
+from .base import StopTheWorldController
+from .ideal import IdealController
+from .journaling import JournalingController
+from .shadow import ShadowPagingController
+from .single_granularity import block_only_policy, page_only_policy
+
+__all__ = [
+    "StopTheWorldController",
+    "IdealController",
+    "JournalingController",
+    "ShadowPagingController",
+    "block_only_policy",
+    "page_only_policy",
+]

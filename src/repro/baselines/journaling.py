@@ -1,0 +1,179 @@
+"""Epoch-based journaling (logging) baseline (§5.1, following [3]).
+
+A journal buffer in DRAM collects and coalesces updated blocks during
+the execution phase; a table the size of ThyNVM's combined BTT+PTT
+tracks the buffered blocks.  At the end of each epoch the system stops
+the world and (1) writes every buffered block to a journal (log) region
+in NVM, (2) commits the log, (3) writes the blocks again in place to
+the Home Region, (4) commits the checkpoint.  The double write is the
+classic redo-journaling overhead the paper charges this baseline with.
+
+Functionally, a crash after the log commit but before the in-place
+writes finish recovers by replaying the committed log over the home
+image — real journaling semantics, verifiable in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..core.checkpoint import Job
+from ..mem.controller import DeviceKind, MemoryController
+from ..sim.engine import Engine
+from ..sim.request import Origin
+from ..stats.collector import StatsCollector
+from .base import StopTheWorldController
+
+
+class JournalingController(StopTheWorldController):
+    """Redo journaling with a DRAM journal buffer."""
+
+    def __init__(self, engine: Engine, config: SystemConfig,
+                 memctrl: MemoryController, stats: StatsCollector) -> None:
+        super().__init__(engine, config, memctrl, stats)
+        self.buffer_capacity = config.btt_entries + config.ptt_entries
+        self._buffer: Dict[int, int] = {}       # block -> buffer slot
+        self._free_slots = list(range(self.buffer_capacity))
+        self._free_slots.reverse()
+        # Blocks captured by the current checkpoint's log, in slot order.
+        self._log_plan: List[Tuple[int, int]] = []
+        # Functional recovery state: the durably committed log (or None
+        # once the in-place writes are complete).
+        self._committed_log: Optional[Dict[int, bytes]] = None
+
+    # --- buffer addressing ----------------------------------------------
+
+    def _slot_addr(self, slot: int) -> int:
+        """DRAM address of a journal buffer slot (temp area of the layout)."""
+        return self.layout.temp_base + slot * self.config.block_bytes
+
+    def _journal_nvm_addr(self, slot: int) -> int:
+        """NVM address of the log entry for a buffer slot (region A)."""
+        return self.layout.region_a_base + slot * self.config.block_bytes
+
+    # --- steering ------------------------------------------------------------
+
+    def _read_location(self, block: int) -> Tuple[DeviceKind, int]:
+        slot = self._buffer.get(block)
+        if slot is not None:
+            return DeviceKind.DRAM, self._slot_addr(slot)
+        return DeviceKind.NVM, self.layout.home_block_addr(block)
+
+    def _do_write(self, block: int, addr: int, origin: Origin,
+                  data, callback, on_accept=None) -> None:
+        if self._ckpt_run is not None or self._aux_run is not None:
+            # Stop-the-world semantics: with a CPU attached no demand
+            # write can arrive mid-checkpoint (the core is stalled), but
+            # direct-driven uses can race the run.  Defer until commit
+            # so in-flight checkpoint copies never see torn buffers.
+            if on_accept is not None:
+                on_accept()
+            self._deferred_writes.append((addr, origin, data, callback, None))
+            return
+        slot = self._buffer.get(block)
+        if slot is None:
+            if not self._free_slots:
+                self._handle_buffer_full(addr, origin, data, callback,
+                                         on_accept)
+                return
+            slot = self._free_slots.pop()
+            self._buffer[block] = slot
+            if len(self._free_slots) < self.buffer_capacity // 8:
+                # High watermark: end the epoch early so the boundary
+                # flush has headroom (avoids overflow mid-flush).
+                self.force_epoch_end("overflow")
+        self._issue_write(DeviceKind.DRAM, self._slot_addr(slot), origin,
+                          data, callback, on_accept)
+
+    def _dirty_pressure_threshold(self):
+        return (7 * self.buffer_capacity) // 10
+
+    def _handle_buffer_full(self, addr, origin, data, callback,
+                            on_accept=None) -> None:
+        if on_accept is not None:
+            on_accept()
+        self._deferred_writes.append((addr, origin, data, callback, None))
+        if self._in_checkpoint and self._aux_run is None:
+            # Mid-cache-flush overflow: flush the journal without a CPU
+            # boundary to avoid deadlock.
+            self._run_aux_checkpoint(
+                self._checkpoint_stages(),
+                on_commit=self._commit_actions,
+                on_stage=self._aux_stage_done)
+        else:
+            self.force_epoch_end("overflow")
+
+    # --- checkpointing -------------------------------------------------------------
+
+    def _checkpoint_stages(self) -> List[List[Job]]:
+        self._log_plan = sorted(self._buffer.items())
+        log_stage = [
+            Job(dst_kind=DeviceKind.NVM,
+                dst_addr=self._journal_nvm_addr(slot),
+                origin=Origin.JOURNAL,
+                src_kind=DeviceKind.DRAM,
+                src_addr=self._slot_addr(slot))
+            for block, slot in self._log_plan
+        ]
+        inplace_stage = [
+            Job(dst_kind=DeviceKind.NVM,
+                dst_addr=self.layout.home_block_addr(block),
+                origin=Origin.CHECKPOINT,
+                src_kind=DeviceKind.DRAM,
+                src_addr=self._slot_addr(slot))
+            for block, slot in self._log_plan
+        ]
+        return [log_stage, inplace_stage]
+
+    def _on_ckpt_stage(self, stage_index: int) -> None:
+        # Stage 0 = CPU state, stage 1 = log writes.  Once the log is
+        # durable, a crash can recover this epoch by replaying it.
+        if stage_index == 1:
+            self._capture_log()
+
+    def _aux_stage_done(self, stage_index: int) -> None:
+        if stage_index == 0:   # aux runs have no CPU-state stage
+            self._capture_log()
+
+    def _capture_log(self) -> None:
+        dram = self.memctrl.functional_store(DeviceKind.DRAM)
+        self._committed_log = {
+            block: dram.read(self._slot_addr(slot))
+            for block, slot in self._log_plan
+        }
+
+    def _commit_actions(self) -> None:
+        # In-place writes are durable: home now holds the full state and
+        # the log is superseded.
+        self._committed_log = None
+        self._buffer.clear()
+        self._free_slots = list(range(self.buffer_capacity))
+        self._free_slots.reverse()
+        self._log_plan = []
+
+    # --- functional recovery ---------------------------------------------------------
+
+    def recovery_cycles_estimate(self) -> int:
+        """§2.2: log replay makes journaling recovery slow — it rewrites
+        every committed-log block in place before the system can run."""
+        config = self.config
+        per_write = ((config.nvm.row_miss_dirty + config.nvm.burst)
+                     // config.num_banks)
+        per_read = ((config.nvm.row_miss_clean + config.nvm.burst)
+                    // config.num_banks)
+        log_blocks = len(self._committed_log or {})
+        # Read each log entry, write it home.
+        return log_blocks * (per_read + per_write)
+
+    def recovered_block(self, block: int) -> bytes:
+        """Post-crash contents of a physical block (home + log replay)."""
+        nvm = self.memctrl.functional_store(DeviceKind.NVM)
+        if self._committed_log is not None and block in self._committed_log:
+            return self._committed_log[block]
+        return nvm.read(self.layout.home_block_addr(block))
+
+    def visible_block_bytes(self, block: int) -> bytes:
+        """Current software-visible contents (pre-crash)."""
+        kind, hw_addr = self._read_location(block)
+        return self.memctrl.functional_store(kind).read(hw_addr)

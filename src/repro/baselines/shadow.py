@@ -1,0 +1,176 @@
+"""Shadow paging (copy-on-write) baseline (§5.1, following [6]).
+
+Pages are copied on first write into DRAM buffer pages; dirty pages are
+flushed whole to alternate NVM page slots (never overwriting the
+previous committed copy) at each epoch boundary — and mid-epoch when
+the DRAM buffer fills, which is exactly the behaviour that makes shadow
+paging pathological under sparse random writes: a page with one dirty
+block still costs a full-page NVM write plus the initial full-page copy.
+
+A per-page region bit (A/B ping-pong, like ThyNVM's checkpoint regions)
+provides the "shadow" indirection; the committed region map plays the
+role of the shadow page table and flips atomically at each commit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..config import SystemConfig
+from ..core.checkpoint import Job
+from ..core.regions import REGION_B, other_region
+from ..mem.controller import DeviceKind, MemoryController
+from ..sim.engine import Engine
+from ..sim.request import Origin
+from ..stats.collector import StatsCollector
+from .base import StopTheWorldController
+
+
+class ShadowPagingController(StopTheWorldController):
+    """Copy-on-write shadow paging with a DRAM page buffer."""
+
+    def __init__(self, engine: Engine, config: SystemConfig,
+                 memctrl: MemoryController, stats: StatsCollector) -> None:
+        super().__init__(engine, config, memctrl, stats)
+        self._pages: Dict[int, int] = {}        # page -> DRAM slot
+        self._dirty: Set[int] = set()
+        self._page_region: Dict[int, int] = {}  # committed region per page
+        self._flush_plan: List[Tuple[int, int, int]] = []  # (page, slot, dst)
+
+    # --- steering ---------------------------------------------------------
+
+    def _committed_region(self, page: int) -> int:
+        return self._page_region.get(page, REGION_B)
+
+    def _read_location(self, block: int) -> Tuple[DeviceKind, int]:
+        page = self.addresses.page_of_block(block)
+        slot = self._pages.get(page)
+        if slot is not None:
+            offset = block - self.addresses.blocks_in_page(page).start
+            return DeviceKind.DRAM, self.layout.slot_block_addr(slot, offset)
+        region = self._committed_region(page)
+        base = self.layout.region_page_addr(region, page)
+        offset = block - self.addresses.blocks_in_page(page).start
+        return DeviceKind.NVM, base + offset * self.config.block_bytes
+
+    def _do_write(self, block: int, addr: int, origin: Origin,
+                  data, callback, on_accept=None) -> None:
+        if self._ckpt_run is not None or self._aux_run is not None:
+            # Stop-the-world semantics: with a CPU attached no demand
+            # write can arrive mid-checkpoint (the core is stalled), but
+            # direct-driven uses can race the run.  Defer until commit
+            # so in-flight checkpoint copies never see torn buffers.
+            if on_accept is not None:
+                on_accept()
+            self._deferred_writes.append((addr, origin, data, callback, None))
+            return
+        page = self.addresses.page_of_block(block)
+        slot = self._pages.get(page)
+        if slot is None:
+            slot = self._copy_on_write(page)
+            if slot is None:
+                self._handle_buffer_full(addr, origin, data, callback,
+                                         on_accept)
+                return
+        self._dirty.add(page)
+        offset = block - self.addresses.blocks_in_page(page).start
+        hw_addr = self.layout.slot_block_addr(slot, offset)
+        self._issue_write(DeviceKind.DRAM, hw_addr, origin, data, callback,
+                          on_accept)
+
+    def _copy_on_write(self, page: int) -> int:
+        """Allocate a buffer page and copy its committed image from NVM.
+
+        Returns the slot, or ``None`` when the buffer is exhausted.
+        The copy is functional-immediate with asynchronous timed traffic
+        (one NVM read + one DRAM write per block — the CoW cost).
+        """
+        slot = self.layout.allocate_slot()
+        if slot is None and self._evict_clean_page():
+            slot = self.layout.allocate_slot()
+        if slot is None:
+            return None
+        self._pages[page] = slot
+        region = self._committed_region(page)
+        src_base = self.layout.region_page_addr(region, page)
+        dst_base = self.layout.page_slot_addr(slot)
+        nvm = self.memctrl.functional_store(DeviceKind.NVM)
+        dram = self.memctrl.functional_store(DeviceKind.DRAM)
+        for offset in range(self.config.blocks_per_page):
+            step = offset * self.config.block_bytes
+            # Functional copy now; timed traffic as payload-free
+            # requests so a late-serviced copy can never clobber a
+            # younger demand write to the same slot.
+            dram.write(dst_base + step, nvm.read(src_base + step))
+            self._issue_read_traffic(DeviceKind.NVM, src_base + step,
+                                     Origin.MIGRATION)
+            self._issue_write(DeviceKind.DRAM, dst_base + step,
+                              Origin.MIGRATION, None, None)
+        if self.layout.slots_free < self.layout.slots_total // 8:
+            self.force_epoch_end("dram_full")
+        return slot
+
+    def _evict_clean_page(self) -> bool:
+        """Drop one clean buffered page (its data is already in NVM)."""
+        for page, slot in list(self._pages.items()):
+            if page not in self._dirty:
+                del self._pages[page]
+                self.layout.release_slot(slot)
+                return True
+        return False
+
+    def _dirty_pressure_threshold(self):
+        return (7 * self.layout.slots_total
+                * self.config.blocks_per_page) // 10
+
+    def _handle_buffer_full(self, addr, origin, data, callback,
+                            on_accept=None) -> None:
+        if on_accept is not None:
+            on_accept()
+        self._deferred_writes.append((addr, origin, data, callback, None))
+        if self._in_checkpoint and self._aux_run is None:
+            self._run_aux_checkpoint(self._checkpoint_stages(),
+                                     on_commit=self._commit_actions)
+        else:
+            self.force_epoch_end("dram_full")
+
+    # --- checkpointing --------------------------------------------------------------
+
+    def _checkpoint_stages(self) -> List[List[Job]]:
+        self._flush_plan = []
+        jobs: List[Job] = []
+        for page in sorted(self._dirty):
+            slot = self._pages[page]
+            dst_region = other_region(self._committed_region(page))
+            self._flush_plan.append((page, slot, dst_region))
+            src_base = self.layout.page_slot_addr(slot)
+            dst_base = self.layout.region_page_addr(dst_region, page)
+            for offset in range(self.config.blocks_per_page):
+                step = offset * self.config.block_bytes
+                jobs.append(Job(dst_kind=DeviceKind.NVM,
+                                dst_addr=dst_base + step,
+                                origin=Origin.CHECKPOINT,
+                                src_kind=DeviceKind.DRAM,
+                                src_addr=src_base + step))
+        return [jobs]
+
+    def _commit_actions(self) -> None:
+        for page, _slot, dst_region in self._flush_plan:
+            self._page_region[page] = dst_region
+        self._dirty.clear()
+        self._flush_plan = []
+
+    # --- functional recovery ------------------------------------------------------------
+
+    def recovered_block(self, block: int) -> bytes:
+        """Post-crash contents: the committed shadow copy of the page."""
+        page = self.addresses.page_of_block(block)
+        region = self._committed_region(page)
+        offset = block - self.addresses.blocks_in_page(page).start
+        addr = (self.layout.region_page_addr(region, page)
+                + offset * self.config.block_bytes)
+        return self.memctrl.functional_store(DeviceKind.NVM).read(addr)
+
+    def visible_block_bytes(self, block: int) -> bytes:
+        kind, hw_addr = self._read_location(block)
+        return self.memctrl.functional_store(kind).read(hw_addr)

@@ -1,0 +1,132 @@
+"""One level of set-associative, writeback cache.
+
+Tracks (tag, dirty) per set with a pluggable replacement policy.
+Payloads are not stored — see the package docstring.  The interesting
+operation for ThyNVM is :meth:`clean_dirty_blocks`, which implements
+CLWB-style "writeback without invalidate" used by the epoch-boundary
+flush (§4.4): dirty blocks are returned for writeback and marked clean,
+but stay resident to preserve locality.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from ..config import CacheConfig
+from .replacement import LRUPolicy
+
+
+class Cache:
+    """A single cache level."""
+
+    def __init__(self, name: str, config: CacheConfig, policy=None) -> None:
+        self.name = name
+        self.config = config
+        self.policy = policy if policy is not None else LRUPolicy()
+        self._num_sets = config.num_sets
+        self._block_shift = config.block_bytes.bit_length() - 1
+        # set index -> OrderedDict[tag, dirty]
+        self._sets: Dict[int, "OrderedDict[int, bool]"] = {}
+        self.hits = 0
+        self.misses = 0
+        self.dirty_count = 0   # O(1) dirty tracking (Dirty-Block-Index-like)
+
+    # --- geometry helpers -----------------------------------------------
+
+    def _locate(self, block_addr: int) -> Tuple[int, int]:
+        block = block_addr >> self._block_shift
+        return block % self._num_sets, block // self._num_sets
+
+    def _rebuild_addr(self, set_index: int, tag: int) -> int:
+        return ((tag * self._num_sets) + set_index) << self._block_shift
+
+    # --- operations -------------------------------------------------------
+
+    def lookup(self, block_addr: int, touch: bool = True) -> bool:
+        """True on hit.  ``touch`` updates recency."""
+        set_index, tag = self._locate(block_addr)
+        entries = self._sets.get(set_index)
+        if entries is None or tag not in entries:
+            self.misses += 1
+            return False
+        if touch:
+            self.policy.touch(entries, tag)
+        self.hits += 1
+        return True
+
+    def mark_dirty(self, block_addr: int) -> None:
+        """Set the dirty bit of a resident block (store hit)."""
+        set_index, tag = self._locate(block_addr)
+        entries = self._sets.get(set_index)
+        if entries is not None and tag in entries:
+            if not entries[tag]:
+                self.dirty_count += 1
+            entries[tag] = True
+            self.policy.touch(entries, tag)
+
+    def insert(self, block_addr: int, dirty: bool) -> Optional[Tuple[int, bool]]:
+        """Fill a block.  Returns the evicted ``(block_addr, dirty)``, if any.
+
+        Inserting an already-resident block just ORs in the dirty bit.
+        """
+        set_index, tag = self._locate(block_addr)
+        entries = self._sets.setdefault(set_index, OrderedDict())
+        if tag in entries:
+            if dirty and not entries[tag]:
+                self.dirty_count += 1
+            entries[tag] = entries[tag] or dirty
+            self.policy.touch(entries, tag)
+            return None
+        victim = None
+        if len(entries) >= self.config.ways:
+            victim_tag, victim_dirty = self.policy.victim(entries)
+            if victim_dirty:
+                self.dirty_count -= 1
+            victim = (self._rebuild_addr(set_index, victim_tag), victim_dirty)
+        entries[tag] = dirty
+        if dirty:
+            self.dirty_count += 1
+        return victim
+
+    def invalidate(self, block_addr: int) -> bool:
+        """Drop a block; returns whether it was present and dirty."""
+        set_index, tag = self._locate(block_addr)
+        entries = self._sets.get(set_index)
+        if entries is None or tag not in entries:
+            return False
+        dirty = entries.pop(tag)
+        if dirty:
+            self.dirty_count -= 1
+        return dirty
+
+    def clean_dirty_blocks(self) -> List[int]:
+        """Return all dirty block addresses and clear their dirty bits.
+
+        Blocks remain resident (writeback-without-invalidate, like
+        Intel's CLWB), preserving locality for the next epoch.
+        """
+        cleaned: List[int] = []
+        for set_index, entries in self._sets.items():
+            for tag, dirty in entries.items():
+                if dirty:
+                    cleaned.append(self._rebuild_addr(set_index, tag))
+                    entries[tag] = False
+        self.dirty_count = 0
+        return cleaned
+
+    def invalidate_all(self) -> None:
+        """Drop everything (simulated power loss)."""
+        self._sets.clear()
+        self.dirty_count = 0
+
+    @property
+    def resident_blocks(self) -> int:
+        return sum(len(entries) for entries in self._sets.values())
+
+    def dirty_block_count(self) -> int:
+        return self.dirty_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Cache {self.name} {self.config.size_bytes}B "
+                f"{self.config.ways}-way resident={self.resident_blocks}>")

@@ -1,0 +1,243 @@
+"""Command-line interface: run workloads and regenerate paper figures.
+
+    repro run --system thynvm --workload random --ops 8000
+    repro run --system journal --workload kv-hash --request-size 256
+    repro figures fig7 fig12
+    repro trace record --workload sliding --ops 2000 -o sliding.trace
+    repro trace run --system thynvm sliding.trace
+
+Installed as the ``repro`` console script; also usable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Iterable, Iterator, List, Optional
+
+from .config import SystemConfig
+from .cpu.trace import Op
+from .harness import experiments
+from .harness.runner import run_workload
+from .harness.systems import SYSTEM_NAMES
+from .harness.tables import format_table
+from .units import us_to_cycles
+from .workloads.kvstore.workload import KVWorkload, kv_trace
+from .workloads.micro import random_trace, sliding_trace, streaming_trace
+from .workloads.spec import SPEC_MODELS, spec_trace
+from .workloads.tracefile import load_trace, save_trace
+
+MICRO_FACTORIES = {
+    "random": random_trace,
+    "streaming": streaming_trace,
+    "sliding": sliding_trace,
+}
+
+FIGURES = ("fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "table1")
+
+
+def build_config(args: argparse.Namespace) -> SystemConfig:
+    """SystemConfig from the CLI's config-override flags."""
+    overrides = {}
+    if getattr(args, "epoch_us", None):
+        overrides["epoch_cycles"] = us_to_cycles(args.epoch_us)
+    if getattr(args, "btt_entries", None):
+        overrides["btt_entries"] = args.btt_entries
+    return SystemConfig(**overrides)
+
+
+def build_trace(args: argparse.Namespace) -> Iterator[Op]:
+    """Instantiate the workload named by ``--workload``."""
+    name = args.workload
+    if name in MICRO_FACTORIES:
+        return MICRO_FACTORIES[name](args.footprint, args.ops,
+                                     seed=args.seed)
+    if name in ("kv-hash", "kv-rbtree"):
+        structure = "hashtable" if name == "kv-hash" else "rbtree"
+        workload = KVWorkload(structure=structure,
+                              request_size=args.request_size,
+                              num_ops=args.ops,
+                              preload=max(200, args.ops // 3),
+                              persist_every=args.persist_every,
+                              seed=args.seed)
+        return kv_trace(workload)
+    if name.startswith("spec:"):
+        bench = name.split(":", 1)[1]
+        if bench not in SPEC_MODELS:
+            raise SystemExit(f"unknown SPEC model {bench!r}; "
+                             f"choose from {sorted(SPEC_MODELS)}")
+        return spec_trace(SPEC_MODELS[bench], args.ops, seed=args.seed)
+    if name.startswith("ycsb:"):
+        from .workloads.ycsb import ycsb_trace
+        return ycsb_trace(name.split(":", 1)[1],
+                          request_size=args.request_size,
+                          num_ops=args.ops,
+                          persist_every=args.persist_every,
+                          seed=args.seed)
+    raise SystemExit(
+        f"unknown workload {name!r}; choose from "
+        f"{sorted(MICRO_FACTORIES)} + ['kv-hash', 'kv-rbtree', "
+        f"'spec:<name>', 'ycsb:<mix>']")
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """`repro run`: one workload on one system, stats to stdout."""
+    config = build_config(args)
+    result = run_workload(args.system, build_trace(args), config)
+    summary = result.stats.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2))
+    else:
+        rows = [[key, value] for key, value in summary.items()]
+        print(format_table(["metric", "value"], rows,
+                           title=f"{args.system} / {args.workload}"))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """`repro figures`: regenerate the requested paper figures."""
+    wanted = args.figures or list(FIGURES)
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figure(s) {unknown}; pick from {FIGURES}")
+
+    if {"fig7", "fig8"} & set(wanted):
+        micro = experiments.run_micro(num_ops=args.ops or 12000)
+        if "fig7" in wanted:
+            _print_series("Figure 7 (relative exec time)",
+                          experiments.fig7_exec_time(micro))
+        if "fig8" in wanted:
+            for workload, systems in experiments.fig8_write_traffic(
+                    micro).items():
+                rows = [[s] + [round(v, 2) for v in cells.values()]
+                        for s, cells in systems.items()]
+                print(format_table(
+                    ["system", "cpu MB", "ckpt MB", "migr MB", "total MB",
+                     "ckpt %"], rows, title=f"Figure 8: {workload}"))
+                print()
+    if {"fig9", "fig10"} & set(wanted):
+        for structure in ("hashtable", "rbtree"):
+            kv = experiments.run_kvstore(structure,
+                                         num_ops=args.ops or 1200)
+            if "fig9" in wanted:
+                _print_series(f"Figure 9 ({structure}, KTPS)",
+                              experiments.fig9_throughput(kv))
+            if "fig10" in wanted:
+                _print_series(f"Figure 10 ({structure}, MB/s)",
+                              experiments.fig10_bandwidth(kv))
+    if "fig11" in wanted:
+        spec = experiments.run_spec(num_mem_ops=args.ops or 10000)
+        _print_series("Figure 11 (IPC norm. to Ideal DRAM)",
+                      experiments.fig11_normalized_ipc(spec))
+    if "fig12" in wanted:
+        series = experiments.fig12_btt_sensitivity(num_ops=args.ops or 1500)
+        rows = [[size] + [round(v, 2) for v in cells.values()]
+                for size, cells in sorted(series.items())]
+        print(format_table(
+            ["BTT entries", "KTPS", "NVM MB", "overflow epochs"], rows,
+            title="Figure 12"))
+        print()
+    if "table1" in wanted:
+        results = experiments.table1_tradeoff(num_ops=args.ops or 8000)
+        rows = [[system] + [cells[k] for k in
+                            ("cycles", "overhead_cycles",
+                             "ckpt_stall_cycles", "metadata_peak_bytes")]
+                for system, cells in results.items()]
+        print(format_table(
+            ["system", "cycles", "overhead", "stall", "metadata B"],
+            rows, title="Table 1"))
+        print()
+    return 0
+
+
+def _print_series(title: str, series) -> None:
+    keys = sorted(series)
+    systems = list(series[keys[0]].keys())
+    rows = [[key] + [round(series[key][s], 3) for s in systems]
+            for key in keys]
+    print(format_table(["x"] + systems, rows, title=title))
+    print()
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """`repro trace record|run`: capture or replay a trace file."""
+    if args.trace_command == "record":
+        count = save_trace(build_trace(args), args.output,
+                           header=f"workload={args.workload} ops={args.ops}")
+        print(f"wrote {count} ops to {args.output}")
+        return 0
+    if args.trace_command == "run":
+        config = build_config(args)
+        result = run_workload(args.system, load_trace(args.trace_file),
+                              config)
+        print(json.dumps(result.stats.summary(), indent=2))
+        return 0
+    raise SystemExit("trace: choose 'record' or 'run'")
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", default="random",
+                        help="random | streaming | sliding | kv-hash | "
+                             "kv-rbtree | spec:<name>")
+    parser.add_argument("--ops", type=int, default=8000)
+    parser.add_argument("--footprint", type=int, default=2 * 1024 * 1024)
+    parser.add_argument("--request-size", type=int, default=64)
+    parser.add_argument("--persist-every", type=int, default=None,
+                        help="durability barrier every N transactions (§6)")
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--epoch-us", type=float, default=None,
+                        help="epoch length in microseconds")
+    parser.add_argument("--btt-entries", type=int, default=None)
+
+
+def make_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ThyNVM reproduction: run simulations and figures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one workload on one system")
+    run_parser.add_argument("--system", default="thynvm",
+                            choices=SYSTEM_NAMES)
+    run_parser.add_argument("--json", action="store_true")
+    _add_workload_args(run_parser)
+    _add_config_args(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    figures_parser = sub.add_parser(
+        "figures", help="regenerate paper figures (see benchmarks/ too)")
+    figures_parser.add_argument("figures", nargs="*",
+                                help=f"subset of {FIGURES}; default all")
+    figures_parser.add_argument("--ops", type=int, default=None)
+    figures_parser.set_defaults(func=cmd_figures)
+
+    trace_parser = sub.add_parser("trace", help="record/replay trace files")
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+    record = trace_sub.add_parser("record")
+    _add_workload_args(record)
+    record.add_argument("-o", "--output", required=True)
+    record.set_defaults(func=cmd_trace)
+    replay = trace_sub.add_parser("run")
+    replay.add_argument("trace_file")
+    replay.add_argument("--system", default="thynvm", choices=SYSTEM_NAMES)
+    _add_config_args(replay)
+    replay.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Console-script entry point."""
+    args = make_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""ThyNVM: the paper's primary contribution.
+
+Dual-scheme (block remapping + page writeback) checkpointing with
+software-transparent crash consistency over a hybrid DRAM+NVM memory
+system.  :class:`~repro.core.controller.ThyNVMController` is the public
+entry point; it implements the :class:`~repro.port.MemoryPort` protocol
+so it can sit below the cache hierarchy or be driven directly.
+"""
+
+from .archive import ArchivedCheckpoint, CheckpointArchive
+from .btt import BlockTranslationTable
+from .controller import ThyNVMController, ThyNVMPolicy
+from .epoch import EpochManager, Phase
+from .metadata import BlockEntry, GcState, PageEntry
+from .ptt import PageTranslationTable
+from .regions import REGION_A, REGION_B, HardwareLayout
+from .recovery import RecoveredState, recover
+from .versions import ProtocolState, classify_block_state, validate_transition
+
+__all__ = [
+    "ArchivedCheckpoint",
+    "CheckpointArchive",
+    "BlockTranslationTable",
+    "PageTranslationTable",
+    "ThyNVMController",
+    "ThyNVMPolicy",
+    "EpochManager",
+    "Phase",
+    "BlockEntry",
+    "PageEntry",
+    "GcState",
+    "HardwareLayout",
+    "REGION_A",
+    "REGION_B",
+    "RecoveredState",
+    "recover",
+    "ProtocolState",
+    "classify_block_state",
+    "validate_transition",
+]

@@ -1,0 +1,39 @@
+"""The Block Translation Table (BTT).
+
+Tracks physical blocks managed by the block remapping scheme at cache
+block (64 B) granularity.  An entry is created on the first write to a
+block (§4.3) and removed when the block has been idle long enough for
+its data to be consolidated back to the Home Region.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metadata import BlockEntry
+from .regions import REGION_B
+from .table import TranslationTable
+
+
+class BlockTranslationTable(TranslationTable[BlockEntry]):
+    """BTT: physical block index -> :class:`BlockEntry`."""
+
+    def __init__(self, capacity: int, entry_bytes: int) -> None:
+        super().__init__("BTT", capacity, entry_bytes)
+
+    def lookup(self, block: int) -> Optional[BlockEntry]:
+        return self.get(block)
+
+    def create(self, block: int,
+               stable_region: int = REGION_B) -> Optional[BlockEntry]:
+        """Create the entry for a block's first tracked write.
+
+        A block with no entry normally lives in the Home Region
+        (== Region B); a block recently evicted by consolidation may be
+        re-created pointing at its still-referenced region A copy.
+        Returns ``None`` on table overflow.
+        """
+        entry = BlockEntry(block=block, stable_region=stable_region)
+        if not self.insert(block, entry):
+            return None
+        return entry

@@ -1,0 +1,182 @@
+"""Staged execution of one checkpointing phase.
+
+The paper prescribes a strict order (Figure 6(b)): (1) write the
+temporarily-DRAM-buffered block working copies to NVM, (2) persist the
+BTT, (3) write back dirty pages from DRAM to NVM, (4) persist the PTT,
+then flush the NVM write queue and atomically set the commit bit.
+
+:class:`CheckpointRun` executes such a plan as a list of *stages*, each
+a list of :class:`Job` objects.  A stage's jobs are issued with queue
+backpressure (never more in flight than the controller accepts) and the
+next stage starts only after every job of the current stage has been
+*serviced* by its device.  After the last stage the run drains the NVM
+write queue, writes the commit record, and calls ``on_commit`` when
+that write is durable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from ..mem.controller import DeviceKind, MemoryController
+from ..sim.engine import Engine
+from ..sim.request import MemoryRequest, Origin
+
+
+@dataclass
+class Job:
+    """One unit of checkpoint work.
+
+    * ``src_kind is None`` — a plain write of ``data`` to the destination.
+    * otherwise — a copy: read ``src_addr`` from ``src_kind``, then write
+      the returned payload to ``dst_addr`` on ``dst_kind``.
+    """
+
+    dst_kind: DeviceKind
+    dst_addr: int
+    origin: Origin
+    src_kind: Optional[DeviceKind] = None
+    src_addr: int = 0
+    data: Optional[bytes] = None
+
+
+class CheckpointRun:
+    """Executes the staged jobs of one checkpointing phase."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        memctrl: MemoryController,
+        stages: Sequence[List[Job]],
+        commit_addr: int,
+        on_commit: Callable[[], None],
+        max_in_flight: int = 16,
+        on_stage: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.memctrl = memctrl
+        self.stages = [list(stage) for stage in stages]
+        self.commit_addr = commit_addr
+        self.on_commit = on_commit
+        self.max_in_flight = max_in_flight
+        self.on_stage = on_stage
+        self._stage_index = -1
+        self._pending: List[Job] = []
+        self._outstanding = 0
+        self._started = False
+        self._finished = False
+        self.start_time: Optional[int] = None
+        self.end_time: Optional[int] = None
+
+    # --- driving ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        self.start_time = self.engine.now
+        self._next_stage()
+
+    def _next_stage(self) -> None:
+        if self._stage_index >= 0 and self.on_stage is not None:
+            # All of stage `_stage_index`'s writes are serviced (durable).
+            self.on_stage(self._stage_index)
+        self._stage_index += 1
+        if self._stage_index >= len(self.stages):
+            self._drain_and_commit()
+            return
+        self._pending = list(reversed(self.stages[self._stage_index]))
+        self._pump()
+
+    def _pump(self) -> None:
+        """Issue jobs while slots and the in-flight budget allow."""
+        if self._finished:
+            return
+        while self._pending and self._outstanding < self.max_in_flight:
+            job = self._pending.pop()
+            if not self._issue(job):
+                # Queue full: put it back and retry when a slot frees.
+                self._pending.append(job)
+                kind = job.src_kind if job.src_kind is not None else job.dst_kind
+                is_write = job.src_kind is None
+                self.memctrl.wait_for_slot(kind, is_write, self._pump)
+                return
+        if not self._pending and self._outstanding == 0:
+            self._next_stage()
+
+    def _issue(self, job: Job) -> bool:
+        if job.src_kind is None:
+            request = MemoryRequest(
+                job.dst_addr, True, job.origin, data=job.data,
+                callback=lambda _r: self._job_done())
+            accepted = self.memctrl.submit(job.dst_kind, request)
+        else:
+            request = MemoryRequest(
+                job.src_addr, False, job.origin,
+                callback=lambda r: self._copy_read_done(job, r))
+            accepted = self.memctrl.submit(job.src_kind, request)
+        if accepted:
+            self._outstanding += 1
+        return accepted
+
+    def _copy_read_done(self, job: Job, read_req: MemoryRequest) -> None:
+        write = MemoryRequest(
+            job.dst_addr, True, job.origin, data=read_req.data,
+            callback=lambda _r: self._job_done())
+
+        def try_write() -> None:
+            if self._finished:
+                return
+            if not self.memctrl.submit(job.dst_kind, write):
+                self.memctrl.wait_for_slot(job.dst_kind, True, try_write)
+
+        try_write()
+
+    def _job_done(self) -> None:
+        if self._finished:
+            return
+        self._outstanding -= 1
+        if not self._pending and self._outstanding == 0:
+            self._next_stage()
+        elif self._pending:
+            self._pump()
+
+    # --- commit -----------------------------------------------------------------
+
+    def _drain_and_commit(self) -> None:
+        # §4.4: flush the NVM write queue — a fence over everything
+        # enqueued so far (later demand writes don't delay the commit).
+        self.memctrl.fence_writes(DeviceKind.NVM, self._write_commit)
+
+    def _write_commit(self) -> None:
+        if self._finished:
+            return
+        request = MemoryRequest(
+            self.commit_addr, True, Origin.CHECKPOINT,
+            callback=lambda _r: self._committed())
+
+        def try_write() -> None:
+            if self._finished:
+                return
+            if not self.memctrl.submit(DeviceKind.NVM, request):
+                self.memctrl.wait_for_slot(DeviceKind.NVM, True, try_write)
+
+        try_write()
+
+    def _committed(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self.end_time = self.engine.now
+        self.on_commit()
+
+    def abort(self) -> None:
+        """Crash handling: silence all future callbacks from this run."""
+        self._finished = True
+
+    @property
+    def duration(self) -> Optional[int]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time

@@ -1,0 +1,118 @@
+"""The epoch model (§3.1, Figure 3 of the paper).
+
+Program execution is divided into epochs; each has an execution phase
+and a checkpointing phase.  ThyNVM overlaps epoch N's checkpointing
+phase with epoch N+1's execution phase; an epoch may only start its
+checkpointing phase after the previous epoch's checkpoint has fully
+committed, so at most one checkpoint is ever in flight.
+
+:class:`EpochManager` owns the timing skeleton: the periodic epoch
+timer, overflow-forced early endings, and the "epoch extension" rule
+(if the timer fires while the previous checkpoint is still running, the
+current epoch simply keeps executing until that checkpoint commits).
+The actual checkpoint work is delegated to the owning controller
+through the ``on_end`` callback.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from ..sim.engine import Engine
+
+
+class Phase(enum.Enum):
+    """Where the epoch pipeline currently stands."""
+
+    EXECUTING = "executing"            # no checkpoint in flight
+    ENDING = "ending"                  # CPU flush at the epoch boundary
+    CHECKPOINTING = "checkpointing"    # previous epoch's ckpt overlaps execution
+
+
+class EpochManager:
+    """Sequences epochs and arbitrates when one may end."""
+
+    def __init__(self, engine: Engine, epoch_cycles: int,
+                 on_end: Callable[[str], None]) -> None:
+        self.engine = engine
+        self.epoch_cycles = epoch_cycles
+        self._on_end = on_end
+        self.active_epoch = 0
+        self.ckpt_epoch: Optional[int] = None
+        self.phase = Phase.EXECUTING
+        self._end_pending: Optional[str] = None
+        self._started = False
+        self._stopped = False
+
+    # --- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin epoch 0 and arm its timer."""
+        if self._started:
+            raise SimulationError("epoch manager already started")
+        self._started = True
+        self._arm_timer()
+
+    def _arm_timer(self) -> None:
+        epoch = self.active_epoch
+        self.engine.schedule(self.epoch_cycles,
+                             lambda: self._timer_fired(epoch))
+
+    def _timer_fired(self, epoch: int) -> None:
+        if self._stopped or epoch != self.active_epoch:
+            return   # stopped, or this epoch already ended early (overflow)
+        self.request_end("timer")
+
+    def stop(self) -> None:
+        """Stop generating epochs (end of a benchmark run or crash)."""
+        self._stopped = True
+
+    # --- ending an epoch ----------------------------------------------------
+
+    def request_end(self, reason: str) -> None:
+        """Ask for the active epoch to end.
+
+        If the boundary flush or the previous checkpoint is still in
+        progress, the request is remembered and honoured as soon as the
+        pipeline allows (epoch extension).
+        """
+        if self._stopped:
+            return
+        if self.phase is not Phase.EXECUTING:
+            if self._end_pending is None:
+                self._end_pending = reason
+            return
+        self.phase = Phase.ENDING
+        self._on_end(reason)
+
+    def execution_phase_done(self) -> None:
+        """The boundary flush finished: epoch N's checkpointing phase may
+        begin and epoch N+1's execution phase starts now."""
+        if self.phase is not Phase.ENDING:
+            raise SimulationError("execution_phase_done outside ENDING phase")
+        self.ckpt_epoch = self.active_epoch
+        self.active_epoch += 1
+        self.phase = Phase.CHECKPOINTING
+        self._arm_timer()
+
+    def checkpoint_committed(self) -> None:
+        """Epoch ``ckpt_epoch``'s checkpoint is durable."""
+        if self.phase is not Phase.CHECKPOINTING or self.ckpt_epoch is None:
+            raise SimulationError("commit without a checkpoint in flight")
+        self.ckpt_epoch = None
+        self.phase = Phase.EXECUTING
+        if self._end_pending is not None:
+            reason, self._end_pending = self._end_pending, None
+            self.request_end(reason)
+
+    # --- queries -----------------------------------------------------------------
+
+    @property
+    def checkpoint_in_flight(self) -> bool:
+        return self.ckpt_epoch is not None or self.phase is Phase.ENDING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EpochManager active={self.active_epoch} "
+                f"ckpt={self.ckpt_epoch} phase={self.phase.value}>")

@@ -1,0 +1,37 @@
+"""The Page Translation Table (PTT).
+
+Tracks physical pages managed by the page writeback scheme at page
+(4 KB) granularity.  An entry exists for every page cached in the DRAM
+Working Data Region; the paper sizes the PTT so it can cover all of
+DRAM (§4.2), which :class:`~repro.config.SystemConfig` enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .metadata import PageEntry
+from .table import TranslationTable
+
+
+class PageTranslationTable(TranslationTable[PageEntry]):
+    """PTT: physical page index -> :class:`PageEntry`."""
+
+    def __init__(self, capacity: int, entry_bytes: int) -> None:
+        super().__init__("PTT", capacity, entry_bytes)
+
+    def lookup(self, page: int) -> Optional[PageEntry]:
+        return self.get(page)
+
+    def create(self, page: int, dram_slot: int,
+               stable_region: int) -> Optional[PageEntry]:
+        """Adopt a page into the page writeback scheme.
+
+        Returns ``None`` on table overflow (the caller must then keep
+        the page under block remapping).
+        """
+        entry = PageEntry(page=page, dram_slot=dram_slot,
+                          stable_region=stable_region)
+        if not self.insert(page, entry):
+            return None
+        return entry

@@ -1,0 +1,8 @@
+"""Trace-driven in-order CPU model."""
+
+from .core import Core
+from .state import CpuState
+from .trace import Op, OpKind, TraceBuilder, work, read, write, txn
+
+__all__ = ["Core", "CpuState", "Op", "OpKind", "TraceBuilder",
+           "work", "read", "write", "txn"]

@@ -1,0 +1,166 @@
+"""Multi-core execution cluster.
+
+The paper's machine (Table 2) is a multi-core with private L1/L2 per
+core and a shared LLC ("2MB/core").  :class:`ExecutionCluster` bundles
+N cores and their private cache hierarchies (sharing one L3) behind the
+*same* interface the consistency controllers already use for a single
+core + hierarchy — stall/resume/flush apply to the whole cluster, so an
+epoch boundary quiesces every core, flushes every cache once, and
+resumes them together.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from ..cache.hierarchy import CacheHierarchy
+from ..errors import SimulationError
+from ..sim.request import Origin
+from .core import Core
+from .state import CpuState
+
+
+class _ClusterState:
+    """Aggregate architectural state of all cores (for checkpointing)."""
+
+    def __init__(self, cores: List[Core]) -> None:
+        self._cores = cores
+        self.size_bytes = sum(core.state.size_bytes for core in cores)
+
+    @property
+    def version(self) -> int:
+        return sum(core.state.version for core in self._cores)
+
+    def capture(self) -> CpuState:
+        return CpuState(self.size_bytes, self.version)
+
+    def advance(self) -> None:  # pragma: no cover - cores advance themselves
+        pass
+
+
+class ExecutionCluster:
+    """N cores + N private hierarchies, one epoch-boundary surface."""
+
+    def __init__(self, cores: List[Core],
+                 hierarchies: List[CacheHierarchy]) -> None:
+        if not cores or len(cores) != len(hierarchies):
+            raise SimulationError("cluster needs one hierarchy per core")
+        self.cores = cores
+        self.hierarchies = hierarchies
+        self.state = _ClusterState(cores)
+        self._stall_cb: Optional[Callable[[], None]] = None
+        self._stall_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Core-like surface (what controllers call on `self.core`)
+    # ------------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return all(core.finished for core in self.cores)
+
+    @property
+    def stalled(self) -> bool:
+        active = [core for core in self.cores if not core.finished]
+        return bool(active) and all(core.stalled for core in active)
+
+    @property
+    def stall_pending(self) -> bool:
+        return any(core.stall_pending for core in self.cores)
+
+    def stall_at_next_boundary(self, reason: str,
+                               on_stalled: Callable[[], None]) -> None:
+        """Freeze every core; fire once the whole cluster is quiescent."""
+        if self._stall_cb is not None:
+            raise SimulationError("cluster already stalling")
+        active = [core for core in self.cores
+                  if not core.finished and not core.stalled]
+        if not active:
+            on_stalled()
+            return
+        self._stall_cb = on_stalled
+        self._stall_reason = reason
+        remaining = {"n": len(active)}
+
+        def one_stalled() -> None:
+            remaining["n"] -= 1
+            if remaining["n"] == 0:
+                callback, self._stall_cb = self._stall_cb, None
+                callback()
+
+        for core in active:
+            core.stall_at_next_boundary(reason, one_stalled)
+
+    def resume(self) -> None:
+        self._stall_reason = None
+        for core in self.cores:
+            if core.stalled:
+                core.resume()
+
+    def change_stall_reason(self, reason: str) -> None:
+        self._stall_reason = reason
+        for core in self.cores:
+            if core.stalled:
+                core.change_stall_reason(reason)
+
+    def cancel_stall_request(self) -> None:
+        for core in self.cores:
+            if core.stall_pending:
+                core.cancel_stall_request()
+
+    def kill(self) -> None:
+        for core in self.cores:
+            core.kill()
+
+    # ------------------------------------------------------------------
+    # Hierarchy-like surface (what controllers call on `self.hierarchy`)
+    # ------------------------------------------------------------------
+
+    def dirty_block_count(self) -> int:
+        # The shared L3 is reachable from every per-core hierarchy;
+        # count it once and add each core's private levels.
+        shared_l3 = self.hierarchies[0].l3
+        total = shared_l3.dirty_block_count()
+        for hierarchy in self.hierarchies:
+            total += hierarchy.l1.dirty_block_count()
+            total += hierarchy.l2.dirty_block_count()
+        return total
+
+    def set_dirty_pressure(self, threshold: int,
+                           callback: Callable[[], None]) -> None:
+        def check() -> None:
+            if self.dirty_block_count() >= threshold:
+                callback()
+
+        for hierarchy in self.hierarchies:
+            # Threshold 1 on each hierarchy delegates the real check to
+            # the cluster-wide count above.
+            hierarchy.set_dirty_pressure(1, check)
+
+    def flush_dirty(self, origin: Origin,
+                    on_accepted: Callable[[int], None],
+                    on_initiated: Optional[Callable[[int], None]] = None,
+                    ) -> None:
+        """Flush every hierarchy; fire the barriers once for the cluster."""
+        remaining = {"accepted": len(self.hierarchies),
+                     "initiated": len(self.hierarchies),
+                     "blocks": 0}
+
+        def accepted(count: int) -> None:
+            remaining["blocks"] += count
+            remaining["accepted"] -= 1
+            if remaining["accepted"] == 0:
+                on_accepted(remaining["blocks"])
+
+        def initiated(_count: int) -> None:
+            remaining["initiated"] -= 1
+            if remaining["initiated"] == 0 and on_initiated is not None:
+                on_initiated(remaining["blocks"])
+
+        for hierarchy in self.hierarchies:
+            hierarchy.flush_dirty(origin, accepted,
+                                  initiated if on_initiated else None)
+
+    def invalidate_all(self) -> None:
+        for hierarchy in self.hierarchies:
+            hierarchy.invalidate_all()

@@ -1,0 +1,198 @@
+"""The in-order CPU core.
+
+Executes an op trace against the cache hierarchy: non-memory
+instructions retire one per cycle; loads and stores are blocking and
+split into block-granularity cache accesses.  The core exposes the
+stall interface the consistency controllers use at epoch boundaries
+(``stall_at_next_boundary`` / ``resume``), and attributes every stalled
+cycle to a cause in the shared :class:`StatsCollector`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..mem.address import AddressMap
+from ..sim.engine import Engine
+from ..stats.collector import StatsCollector
+from ..cache.hierarchy import CacheHierarchy
+from .state import CpuState
+from .trace import Op, OpKind
+
+
+class Core:
+    """Single in-order core at one instruction per cycle."""
+
+    def __init__(self, engine: Engine, config: SystemConfig,
+                 hierarchy: CacheHierarchy, stats: StatsCollector) -> None:
+        self.engine = engine
+        self.config = config
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self.addresses = AddressMap(config)
+        self.state = CpuState(config.cpu_state_bytes)
+
+        self._trace: Optional[Iterator[Op]] = None
+        self._on_finish: Optional[Callable[[], None]] = None
+        self.finished = False
+
+        # §6 explicit-persistence instruction: the memory system's
+        # durability barrier, wired up by the system factory (None on
+        # systems where persistence is free/meaningless).
+        self.persist_port: Optional[Callable[[Callable[[], None]], None]] = None
+        self._persist_waiting = False
+
+        self._stalled = False
+        self._stall_reason: Optional[str] = None
+        self._stall_start = 0
+        self._pending_stall: Optional[Callable[[], None]] = None
+        self._at_boundary = True    # not mid-instruction
+        self._killed = False
+
+    # --- driving ----------------------------------------------------------
+
+    def run_trace(self, trace: Iterator[Op],
+                  on_finish: Callable[[], None]) -> None:
+        """Start executing ``trace``; ``on_finish`` fires after the last op."""
+        if self._trace is not None:
+            raise SimulationError("core is already running a trace")
+        self._trace = iter(trace)
+        self._on_finish = on_finish
+        self.engine.schedule(0, self._step)
+
+    def _step(self) -> None:
+        if self._killed or self.finished or self._trace is None:
+            return
+        if self._persist_waiting:
+            return
+        self._at_boundary = True
+        if self._pending_stall is not None:
+            self._enter_stall()
+            return
+        if self._stalled:
+            return
+        try:
+            op = next(self._trace)
+        except StopIteration:
+            self.finished = True
+            if self._on_finish is not None:
+                self._on_finish()
+            return
+        self._execute(op)
+
+    def _execute(self, op: Op) -> None:
+        self._at_boundary = False
+        if op.kind is OpKind.WORK:
+            self.stats.instructions += op.size
+            self.state.advance()
+            self.engine.schedule(op.size, self._step)
+        elif op.kind is OpKind.TXN:
+            self.stats.transactions += 1
+            self.engine.schedule(0, self._step)
+        elif op.kind is OpKind.PERSIST:
+            self.stats.instructions += 1
+            # The persist instruction itself retires; the core then
+            # waits (at an instruction boundary, so epoch flushes can
+            # proceed) until the memory system reports durability.
+            self._at_boundary = True
+            if self.persist_port is None:
+                self.engine.schedule(1, self._step)
+            else:
+                self._persist_waiting = True
+                self.persist_port(self._persist_done)
+        else:
+            is_write = op.kind is OpKind.WRITE
+            self.stats.instructions += 1
+            self.state.advance()
+            blocks = [self.addresses.block_addr(b)
+                      for b in self.addresses.iter_blocks(op.addr, op.size)]
+            self._access_blocks(blocks, 0, is_write)
+
+    def _access_blocks(self, blocks, index: int, is_write: bool) -> None:
+        if index >= len(blocks):
+            self.engine.schedule(1, self._step)
+            return
+        self.hierarchy.access(
+            blocks[index], is_write,
+            lambda: self._access_blocks(blocks, index + 1, is_write))
+
+    def _persist_done(self) -> None:
+        if self._killed:
+            return
+        self._persist_waiting = False
+        self.engine.schedule(0, self._step)
+
+    # --- stall control (used by consistency controllers) ---------------------
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    def stall_at_next_boundary(self, reason: str,
+                               on_stalled: Callable[[], None]) -> None:
+        """Freeze the core at the next instruction boundary.
+
+        ``on_stalled`` fires once the core is actually frozen (it may be
+        mid-instruction when asked).  ``reason`` labels the stalled
+        cycles in the stats (e.g. ``"flush"`` or ``"checkpoint"``).
+        """
+        if self._stalled or self._pending_stall is not None:
+            raise SimulationError("core already stalled or stalling")
+        self._stall_reason = reason
+        self._pending_stall = on_stalled
+        if self._at_boundary or self.finished:
+            self._enter_stall()
+
+    def _enter_stall(self) -> None:
+        on_stalled = self._pending_stall
+        self._pending_stall = None
+        self._stalled = True
+        self._stall_start = self.engine.now
+        if on_stalled is not None:
+            on_stalled()
+
+    @property
+    def stall_pending(self) -> bool:
+        """A stall was requested but the core is still mid-instruction."""
+        return self._pending_stall is not None
+
+    def cancel_stall_request(self) -> None:
+        """Withdraw a not-yet-effective stall request."""
+        if self._stalled:
+            raise SimulationError("cannot cancel: core already stalled")
+        self._pending_stall = None
+        self._stall_reason = None
+
+    def resume(self) -> None:
+        """Unfreeze the core and account the stalled cycles."""
+        if not self._stalled:
+            raise SimulationError("resume called on a running core")
+        self._stalled = False
+        reason = self._stall_reason or "unknown"
+        self.stats.stall_cycles.add(reason, self.engine.now - self._stall_start)
+        self._stall_reason = None
+        if not self.finished:
+            self.engine.schedule(0, self._step)
+
+    def change_stall_reason(self, reason: str) -> None:
+        """Re-attribute the remainder of the current stall.
+
+        Splits the accounting at 'now': cycles so far go to the old
+        reason, subsequent ones to ``reason``.  Used when a flush stall
+        turns into a stop-the-world checkpoint stall.
+        """
+        if not self._stalled:
+            raise SimulationError("core is not stalled")
+        old = self._stall_reason or "unknown"
+        self.stats.stall_cycles.add(old, self.engine.now - self._stall_start)
+        self._stall_start = self.engine.now
+        self._stall_reason = reason
+
+    # --- crash model ---------------------------------------------------------
+
+    def kill(self) -> None:
+        """Stop executing permanently (power loss)."""
+        self._killed = True
+        self._stalled = True

@@ -1,0 +1,34 @@
+"""Architectural CPU state that must be checkpointed.
+
+ThyNVM checkpoints "registers, store buffers and dirty cache blocks"
+(§3.1).  Dirty cache blocks are handled by the cache flush; this class
+models the register/store-buffer image: a fixed-size blob written to
+the NVM backup region at every epoch boundary, restored on recovery.
+The contents are an opaque, monotonically versioned token — enough to
+verify that recovery restores the state saved by the right epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CpuState:
+    """Register-file image (opaque, versioned)."""
+
+    size_bytes: int = 512
+    version: int = 0          # bumped every epoch boundary capture
+
+    def capture(self) -> "CpuState":
+        """Snapshot the current state for checkpointing."""
+        return CpuState(self.size_bytes, self.version)
+
+    def advance(self) -> None:
+        """Mark that execution has mutated the architectural state."""
+        self.version += 1
+
+    def restore_from(self, saved: "CpuState") -> None:
+        """Roll back to a checkpointed image."""
+        self.size_bytes = saved.size_bytes
+        self.version = saved.version

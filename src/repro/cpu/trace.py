@@ -1,0 +1,110 @@
+"""The instruction-trace format consumed by the CPU core.
+
+A trace is any iterable of :class:`Op` tuples.  Four kinds exist:
+
+* ``WORK n`` — *n* non-memory instructions (one cycle each),
+* ``READ addr size`` — a load touching ``[addr, addr+size)``,
+* ``WRITE addr size`` — a store touching ``[addr, addr+size)``,
+* ``TXN`` — marks the completion of one workload-level transaction
+  (drives the throughput metric of Figs. 9 and 12).
+
+Multi-block accesses are split into block-sized cache accesses by the
+core.  Traces are ordinarily Python generators, so arbitrarily long
+workloads run in constant memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator, List, NamedTuple
+
+from ..errors import WorkloadError
+
+
+class OpKind(enum.Enum):
+    WORK = "work"
+    READ = "read"
+    WRITE = "write"
+    TXN = "txn"
+    # §6 "Explicit interface for persistence": an ISA instruction that
+    # forces the memory system to end the epoch and blocks until the
+    # resulting checkpoint commits (a durability barrier).
+    PERSIST = "persist"
+
+
+class Op(NamedTuple):
+    kind: OpKind
+    addr: int = 0
+    size: int = 0
+
+
+def work(n: int) -> Op:
+    """``n`` back-to-back non-memory instructions."""
+    if n <= 0:
+        raise WorkloadError("work op needs a positive instruction count")
+    return Op(OpKind.WORK, 0, n)
+
+
+def read(addr: int, size: int = 8) -> Op:
+    """A load of ``size`` bytes at ``addr``."""
+    if size <= 0:
+        raise WorkloadError("read op needs a positive size")
+    return Op(OpKind.READ, addr, size)
+
+
+def write(addr: int, size: int = 8) -> Op:
+    """A store of ``size`` bytes at ``addr``."""
+    if size <= 0:
+        raise WorkloadError("write op needs a positive size")
+    return Op(OpKind.WRITE, addr, size)
+
+
+def txn() -> Op:
+    """Transaction-complete marker (free: no instructions)."""
+    return Op(OpKind.TXN, 0, 0)
+
+
+def persist() -> Op:
+    """Durability barrier: block until all prior stores are recoverable
+    (§6's explicit persistence instruction)."""
+    return Op(OpKind.PERSIST, 0, 0)
+
+
+class TraceBuilder:
+    """Convenience builder for small hand-written traces (tests, demos)."""
+
+    def __init__(self) -> None:
+        self._ops: List[Op] = []
+
+    def work(self, n: int) -> "TraceBuilder":
+        self._ops.append(work(n))
+        return self
+
+    def read(self, addr: int, size: int = 8) -> "TraceBuilder":
+        self._ops.append(read(addr, size))
+        return self
+
+    def write(self, addr: int, size: int = 8) -> "TraceBuilder":
+        self._ops.append(write(addr, size))
+        return self
+
+    def txn(self) -> "TraceBuilder":
+        self._ops.append(txn())
+        return self
+
+    def persist(self) -> "TraceBuilder":
+        self._ops.append(persist())
+        return self
+
+    def extend(self, ops: Iterable[Op]) -> "TraceBuilder":
+        self._ops.extend(ops)
+        return self
+
+    def build(self) -> List[Op]:
+        return list(self._ops)
+
+    def __iter__(self) -> Iterator[Op]:
+        return iter(self._ops)
+
+    def __len__(self) -> int:
+        return len(self._ops)

@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ThyNVM reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch
+everything from this package with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine was driven into an illegal state."""
+
+
+class AddressError(ReproError):
+    """An address is outside the configured physical address space."""
+
+
+class TableOverflowError(ReproError):
+    """A translation table ran out of entries and could not evict.
+
+    This is internal: the ThyNVM controller is expected to catch it and
+    force an early epoch end (per §4.3 of the paper) rather than let it
+    escape to the user.
+    """
+
+
+class ProtocolError(ReproError):
+    """The checkpointing protocol attempted an illegal state transition."""
+
+
+class RecoveryError(ReproError):
+    """Post-crash recovery found NVM metadata in an unusable state."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was misconfigured or produced an invalid op."""
+
+
+class AllocationError(ReproError):
+    """The in-simulation memory allocator ran out of space."""

@@ -1,0 +1,9 @@
+"""Experiment harness: system assembly, runners, sweeps and tables."""
+
+from .runner import RunResult, execute, run_workload
+from .sweeps import sweep_config, sweep_systems
+from .systems import PRETTY_NAMES, SYSTEM_NAMES, SimulatedSystem, build_system
+
+__all__ = ["RunResult", "execute", "run_workload",
+           "sweep_config", "sweep_systems",
+           "PRETTY_NAMES", "SYSTEM_NAMES", "SimulatedSystem", "build_system"]

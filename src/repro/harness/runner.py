@@ -1,0 +1,84 @@
+"""Run a workload trace on a simulated system and collect results.
+
+The run protocol is the same for every system: start the consistency
+controller (arms epoch timers where applicable), execute the trace on
+the core, then drain — which for checkpointing systems forces final
+epoch boundaries so their consistency overhead is fully charged to the
+run, and for ideal systems just flushes the caches.  Execution time is
+measured from cycle 0 to the end of the drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from ..config import SystemConfig
+from ..cpu.trace import Op
+from ..errors import SimulationError
+from ..stats.collector import StatsCollector
+from .systems import SimulatedSystem, build_system
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulated run."""
+
+    system: str
+    stats: StatsCollector
+    finished: bool
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def ipc(self) -> float:
+        return self.stats.ipc
+
+
+def execute(system: SimulatedSystem, trace: Iterable[Op],
+            max_events: int = 200_000_000,
+            traces: Optional[List[Iterable[Op]]] = None) -> RunResult:
+    """Drive ``trace`` to completion on an assembled system.
+
+    Multi-core machines take one trace per core via ``traces`` (any
+    shorter list leaves the remaining cores idle); the run drains once
+    every supplied trace has finished.
+    """
+    done = {"drained": False}
+
+    def on_drained() -> None:
+        done["drained"] = True
+        system.stats.end_cycle = system.engine.now
+        system.memsys.stop()   # stop the epoch timers so the engine idles
+
+    per_core = traces if traces is not None else [trace]
+    if len(per_core) > len(system.cores):
+        raise SimulationError(
+            f"{len(per_core)} traces for {len(system.cores)} cores")
+    remaining = {"n": len(per_core)}
+
+    def on_trace_finished() -> None:
+        remaining["n"] -= 1
+        if remaining["n"] == 0:
+            system.memsys.drain(on_drained)
+
+    system.memsys.start()
+    for core, core_trace in zip(system.cores, per_core):
+        core.run_trace(iter(core_trace), on_trace_finished)
+    system.engine.run_until_idle(max_events=max_events)
+
+    if not done["drained"]:
+        raise SimulationError(
+            f"system {system.name!r} wedged: engine idle but drain "
+            f"incomplete (core stalled={system.core.stalled})")
+    return RunResult(system=system.name, stats=system.stats, finished=True)
+
+
+def run_workload(system_name: str, trace: Iterable[Op],
+                 config: SystemConfig,
+                 policy: Optional[object] = None) -> RunResult:
+    """Build a system, run a trace, return the results."""
+    system = build_system(system_name, config, policy=policy)
+    return execute(system, trace)

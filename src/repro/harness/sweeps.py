@@ -1,0 +1,54 @@
+"""Generic parameter sweeps over SystemConfig.
+
+Sensitivity studies (Fig. 12's BTT sweep, the extension benches' epoch
+and durability sweeps) all share one shape: vary a configuration field,
+re-run a fixed workload, collect a metric series.  :func:`sweep_config`
+factors that shape out so new studies are one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from ..config import SystemConfig
+from ..cpu.trace import Op
+from ..stats.collector import StatsCollector
+from .runner import run_workload
+
+
+def sweep_config(
+    field: str,
+    values: Iterable[object],
+    trace_factory: Callable[[], Iterable[Op]],
+    system: str = "thynvm",
+    base_config: Optional[SystemConfig] = None,
+    metric: Optional[Callable[[StatsCollector], object]] = None,
+) -> Dict[object, object]:
+    """Run ``trace_factory()`` once per value of ``config.<field>``.
+
+    Returns ``{value: metric(stats)}`` (the full :class:`StatsCollector`
+    when ``metric`` is None).  The trace factory is called fresh per run
+    so generator-based workloads replay identically.
+    """
+    base = base_config if base_config is not None else SystemConfig()
+    results: Dict[object, object] = {}
+    for value in values:
+        config = base.with_overrides(**{field: value})
+        stats = run_workload(system, trace_factory(), config).stats
+        results[value] = metric(stats) if metric is not None else stats
+    return results
+
+
+def sweep_systems(
+    systems: Iterable[str],
+    trace_factory: Callable[[], Iterable[Op]],
+    config: Optional[SystemConfig] = None,
+    metric: Optional[Callable[[StatsCollector], object]] = None,
+) -> Dict[str, object]:
+    """Run the same workload across systems (one row of any figure)."""
+    config = config if config is not None else SystemConfig()
+    results: Dict[str, object] = {}
+    for system in systems:
+        stats = run_workload(system, trace_factory(), config).stats
+        results[system] = metric(stats) if metric is not None else stats
+    return results

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for benchmark reports.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Render an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def normalize(values: Dict[str, float], baseline_key: str) -> Dict[str, float]:
+    """Scale ``values`` so that ``values[baseline_key] == 1.0``."""
+    baseline = values[baseline_key]
+    if baseline == 0:
+        raise ZeroDivisionError(f"baseline {baseline_key!r} is zero")
+    return {key: value / baseline for key, value in values.items()}
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the conventional summary for normalized metrics."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

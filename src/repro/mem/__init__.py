@@ -1,0 +1,15 @@
+"""Memory devices (DRAM/NVM timing models) and the memory controller."""
+
+from .address import AddressMap
+from .controller import DeviceKind, MemoryController
+from .datastore import FunctionalStore, NullStore
+from .device import MemoryDevice
+
+__all__ = [
+    "AddressMap",
+    "DeviceKind",
+    "MemoryController",
+    "FunctionalStore",
+    "NullStore",
+    "MemoryDevice",
+]

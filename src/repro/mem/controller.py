@@ -1,0 +1,286 @@
+"""The memory controller: four bounded queues feeding two devices.
+
+This models the controller in Figure 2 of the paper: separate read and
+write queues for DRAM and for NVM.  Scheduling per device is FR-FCFS
+with read priority, watermark-based write draining, and **bank-level
+parallelism**: each device services one request per bank concurrently
+(the data-bus burst is folded into the access latency).  Checkpointing
+traffic shares these queues with demand traffic, which is how ThyNVM's
+overlapped checkpointing contends for — and is hidden by — memory
+bandwidth.
+
+Ordering and visibility rules the consistency protocols rely on:
+
+* same-address requests within a queue are never reordered,
+* reads forward data from still-queued same-address writes,
+* a write becomes durable (reaches the functional store) exactly when
+  the device services it; anything still queued at :meth:`crash` is
+  lost, like real controller SRAM on power failure,
+* :meth:`fence_writes` implements §4.4's "flush the NVM write queue":
+  a fence over writes submitted so far, unaffected by later arrivals.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from ..config import SystemConfig
+from ..errors import SimulationError
+from ..sim.engine import Engine
+from ..sim.event import Event
+from ..sim.queueing import BoundedQueue
+from ..sim.request import MemoryRequest
+from ..stats.collector import StatsCollector
+from .datastore import FunctionalStore, NullStore
+from .device import MemoryDevice
+
+
+class DeviceKind(enum.Enum):
+    """Which device a request targets."""
+
+    DRAM = "dram"
+    NVM = "nvm"
+
+
+class _DeviceState:
+    """Per-device scheduling state inside the controller."""
+
+    __slots__ = ("device", "store", "read_queue", "write_queue",
+                 "active", "in_flight_writes", "kicking",
+                 "draining", "drain_waiters", "fences")
+
+    def __init__(self, device: MemoryDevice, store, read_q: BoundedQueue,
+                 write_q: BoundedQueue) -> None:
+        self.device = device
+        self.store = store
+        self.read_queue = read_q
+        self.write_queue = write_q
+        # bank -> (completion event, request) for in-flight services.
+        self.active: Dict[int, Tuple[Event, MemoryRequest]] = {}
+        self.in_flight_writes: Set[int] = set()
+        self.kicking = False
+        self.draining = False
+        self.drain_waiters: List[Callable[[], None]] = []
+        # Write fences: (outstanding request-id set, callback) pairs.
+        self.fences: List[Tuple[set, Callable[[], None]]] = []
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.active)
+
+
+class MemoryController:
+    """Schedules block requests onto the DRAM and NVM devices."""
+
+    def __init__(self, engine: Engine, config: SystemConfig,
+                 stats: StatsCollector) -> None:
+        self.engine = engine
+        self.config = config
+        self.stats = stats
+        store_cls = FunctionalStore if config.track_data else NullStore
+        self._states: Dict[DeviceKind, _DeviceState] = {}
+        for kind, persistent in ((DeviceKind.DRAM, False), (DeviceKind.NVM, True)):
+            device = MemoryDevice(
+                kind.value, config.dram if kind is DeviceKind.DRAM else config.nvm,
+                config.row_bytes, config.num_banks, persistent)
+            self._states[kind] = _DeviceState(
+                device,
+                store_cls(config.block_bytes),
+                BoundedQueue(f"{kind.value}-read", config.read_queue_entries),
+                BoundedQueue(f"{kind.value}-write", config.write_queue_entries),
+            )
+        self.crashed = False
+
+    # --- producer API ------------------------------------------------------
+
+    def submit(self, kind: DeviceKind, request: MemoryRequest) -> bool:
+        """Enqueue ``request``; returns False if the target queue is full."""
+        if self.crashed:
+            return False
+        state = self._states[kind]
+        queue = state.write_queue if request.is_write else state.read_queue
+        request.issue_time = self.engine.now
+        if not queue.try_enqueue(request):
+            request.issue_time = None
+            return False
+        self._kick(kind)
+        return True
+
+    def wait_for_slot(self, kind: DeviceKind, is_write: bool,
+                      callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` when a slot frees in the chosen queue."""
+        state = self._states[kind]
+        queue = state.write_queue if is_write else state.read_queue
+        queue.wait_for_slot(callback)
+
+    def when_writes_drained(self, kind: DeviceKind,
+                            callback: Callable[[], None]) -> None:
+        """Invoke ``callback`` once the device's write queue is empty and
+        no write is in flight.  Prefer :meth:`fence_writes` — this form
+        never fires while demand writes keep arriving."""
+        state = self._states[kind]
+        if not state.write_queue and not state.in_flight_writes:
+            callback()
+            return
+        state.drain_waiters.append(callback)
+
+    def fence_writes(self, kind: DeviceKind,
+                     callback: Callable[[], None]) -> None:
+        """Write fence (§4.4's NVM write-queue flush): ``callback`` fires
+        once every write *currently* queued or in flight on the device
+        has been serviced.  Writes submitted after the fence do not
+        delay it."""
+        state = self._states[kind]
+        outstanding = {r.req_id for r in state.write_queue.items()}
+        outstanding.update(state.in_flight_writes)
+        if not outstanding:
+            callback()
+            return
+        state.fences.append((outstanding, callback))
+
+    # --- functional access for recovery (not timed) --------------------------
+
+    def functional_store(self, kind: DeviceKind):
+        """Direct access to a device's backing store (recovery/tests)."""
+        return self._states[kind].store
+
+    def device(self, kind: DeviceKind) -> MemoryDevice:
+        """The underlying timing device (wear/row-buffer introspection)."""
+        return self._states[kind].device
+
+    # --- occupancy introspection ---------------------------------------------
+
+    def queue_depth(self, kind: DeviceKind, is_write: bool) -> int:
+        state = self._states[kind]
+        return len(state.write_queue if is_write else state.read_queue)
+
+    @property
+    def idle(self) -> bool:
+        """True when no request is queued or in flight on either device."""
+        return all(
+            not s.active and not s.read_queue and not s.write_queue
+            for s in self._states.values())
+
+    # --- crash model -------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power loss: queued requests vanish, DRAM contents vanish.
+
+        NVM retains everything already serviced.  In-flight requests
+        (being serviced at crash time) are conservatively lost too.
+        """
+        self.crashed = True
+        for state in self._states.values():
+            state.read_queue.drop_all()
+            state.write_queue.drop_all()
+            state.drain_waiters.clear()
+            state.fences.clear()
+            for event, _request in state.active.values():
+                event.cancel()
+            state.active.clear()
+            state.in_flight_writes.clear()
+            state.device.reset_row_buffers()
+            if not state.device.persistent:
+                state.store.erase()
+
+    def power_on(self) -> None:
+        """Restart the controller after :meth:`crash` (recovery path)."""
+        self.crashed = False
+
+    # --- scheduler ---------------------------------------------------------------
+
+    def _kick(self, kind: DeviceKind) -> None:
+        """Issue every request that can start now (one per free bank)."""
+        state = self._states[kind]
+        if state.kicking or self.crashed:
+            return
+        state.kicking = True
+        try:
+            while len(state.active) < state.device.num_banks:
+                request = self._select(state)
+                if request is None:
+                    break
+                self._start_service(kind, state, request)
+        finally:
+            state.kicking = False
+
+    def _start_service(self, kind: DeviceKind, state: _DeviceState,
+                       request: MemoryRequest) -> None:
+        bank, _row = state.device.decode(request.addr)
+        if bank in state.active:
+            raise SimulationError("selected a request for a busy bank")
+        latency = state.device.access(request.addr, request.is_write)
+        if request.is_write:
+            state.in_flight_writes.add(request.req_id)
+        event = self.engine.schedule(
+            latency, lambda: self._complete(kind, request, bank))
+        state.active[bank] = (event, request)
+
+    def _select(self, state: _DeviceState) -> Optional[MemoryRequest]:
+        """FR-FCFS over free banks, with read priority and write drain."""
+        reads, writes = state.read_queue, state.write_queue
+        if state.draining and len(writes) <= writes.capacity // 4:
+            state.draining = False
+        if not state.draining and len(writes) >= (3 * writes.capacity) // 4:
+            state.draining = True
+
+        device = state.device
+        active = state.active
+
+        def ready(request: MemoryRequest) -> bool:
+            return device.decode(request.addr)[0] not in active
+
+        def prefer(request: MemoryRequest) -> bool:
+            return device.would_row_hit(request.addr)
+
+        def demand(request: MemoryRequest) -> bool:
+            # Demand fills beat background (migration/recovery) reads:
+            # a page-assembly burst must not stall the pipeline.
+            return request.origin.counts_as_cpu()
+
+        order = (writes, reads) if state.draining else (reads, writes)
+        for queue in order:
+            if queue:
+                request = queue.pop_ready(
+                    ready, prefer, demand if queue is reads else None)
+                if request is not None:
+                    return request
+        return None
+
+    def _complete(self, kind: DeviceKind, request: MemoryRequest,
+                  bank: int) -> None:
+        state = self._states[kind]
+        state.active.pop(bank, None)
+        if request.is_write:
+            state.in_flight_writes.discard(request.req_id)
+            state.store.write(request.addr, request.data)
+        else:
+            # Read-after-write forwarding: a still-queued write to the
+            # same address is younger than this read in program order
+            # (reads and writes sit in separate queues), so the read
+            # must observe it.  Take the youngest matching payload.
+            request.data = state.store.read(request.addr)
+            for queued in state.write_queue.items():
+                if queued.addr == request.addr and queued.data is not None:
+                    request.data = queued.data
+        latency = (self.engine.now - request.issue_time
+                   if request.issue_time is not None else None)
+        self.stats.record_device_access(
+            kind.value, request.is_write, request.origin.value, latency)
+        request.complete(self.engine.now)
+        if request.is_write and state.fences:
+            fired = []
+            for fence in state.fences:
+                fence[0].discard(request.req_id)
+                if not fence[0]:
+                    fired.append(fence)
+            for fence in fired:
+                state.fences.remove(fence)
+                fence[1]()
+        if (state.drain_waiters and not state.write_queue
+                and not state.in_flight_writes):
+            waiters, state.drain_waiters = state.drain_waiters, []
+            for waiter in waiters:
+                waiter()
+        self._kick(kind)

@@ -1,0 +1,72 @@
+"""Functional (contents-carrying) backing stores for memory devices.
+
+The paper's evaluation is timing-only, but crash consistency is a
+*functional* property, so our devices can optionally store real bytes.
+Writes become durable exactly when the device services them — data
+sitting in controller queues is lost on a crash, which is precisely the
+hazard ThyNVM's commit protocol must tolerate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class FunctionalStore:
+    """Block-granularity byte storage keyed by hardware block address."""
+
+    def __init__(self, block_bytes: int) -> None:
+        self.block_bytes = block_bytes
+        self._blocks: Dict[int, bytes] = {}
+
+    def write(self, addr: int, data: Optional[bytes]) -> None:
+        """Store one block.  ``None`` payloads are ignored (timing-only)."""
+        if data is None:
+            return
+        if len(data) != self.block_bytes:
+            raise ValueError(
+                f"payload must be {self.block_bytes} bytes, got {len(data)}")
+        self._blocks[addr] = data
+
+    def read(self, addr: int) -> bytes:
+        """Read one block; unwritten blocks read as zeros."""
+        return self._blocks.get(addr, bytes(self.block_bytes))
+
+    def copy_block(self, src: int, dst: int) -> None:
+        """Device-internal copy used by recovery/migration helpers."""
+        self._blocks[dst] = self.read(src)
+
+    def erase(self) -> None:
+        """Lose all contents (models a volatile device losing power)."""
+        self._blocks.clear()
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+
+class NullStore:
+    """Timing-only stand-in with the same interface; stores nothing."""
+
+    def __init__(self, block_bytes: int) -> None:
+        self.block_bytes = block_bytes
+
+    def write(self, addr: int, data: Optional[bytes]) -> None:
+        pass
+
+    def read(self, addr: int) -> bytes:
+        return bytes(self.block_bytes)
+
+    def copy_block(self, src: int, dst: int) -> None:
+        pass
+
+    def erase(self) -> None:
+        pass
+
+    def __contains__(self, addr: int) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0

@@ -1,0 +1,103 @@
+"""Bank + row-buffer timing model shared by DRAM and NVM.
+
+Each device has ``num_banks`` banks, each with an open-row register.
+An access to the open row costs the row-hit latency; otherwise the row
+must be activated (clean miss) or, if the open row buffered writes that
+must be written back first, the dirty-miss latency applies.  NVM's
+dirty miss is expensive (368 ns, Table 2) because evicting a dirty row
+buffer writes the slow cells; DRAM's clean and dirty misses cost the
+same.  One 64 B burst transfer is added to every access.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..config import DeviceTiming
+
+
+class MemoryDevice:
+    """Timing model of one memory device (DRAM or NVM)."""
+
+    def __init__(
+        self,
+        name: str,
+        timing: DeviceTiming,
+        row_bytes: int,
+        num_banks: int,
+        persistent: bool,
+    ) -> None:
+        self.name = name
+        self.timing = timing
+        self.row_bytes = row_bytes
+        self.num_banks = num_banks
+        self.persistent = persistent
+        # Per-bank (open_row, dirty) state; None means no open row.
+        self._open_row: List[Optional[int]] = [None] * num_banks
+        self._row_dirty: List[bool] = [False] * num_banks
+        # Simple aggregate stats.
+        self.row_hits = 0
+        self.row_misses = 0
+        self.busy_cycles = 0
+        # Per-block write (wear) counts — NVM cells have finite write
+        # endurance, so where writes land matters as much as how many.
+        self.write_counts: dict = {}
+
+    # --- address decode -----------------------------------------------
+
+    def decode(self, addr: int) -> Tuple[int, int]:
+        """Map a hardware address to (bank, row) — rows interleave banks."""
+        row_number = addr // self.row_bytes
+        bank = row_number % self.num_banks
+        row = row_number // self.num_banks
+        return bank, row
+
+    # --- timing ------------------------------------------------------------
+
+    def would_row_hit(self, addr: int) -> bool:
+        """True if accessing ``addr`` now would hit the open row."""
+        bank, row = self.decode(addr)
+        return self._open_row[bank] == row
+
+    def access(self, addr: int, is_write: bool) -> int:
+        """Account one block access; returns its service latency in cycles."""
+        bank, row = self.decode(addr)
+        if self._open_row[bank] == row:
+            latency = self.timing.row_hit
+            self.row_hits += 1
+        elif self._row_dirty[bank]:
+            latency = self.timing.row_miss_dirty
+            self.row_misses += 1
+            self._row_dirty[bank] = False
+        else:
+            latency = self.timing.row_miss_clean
+            self.row_misses += 1
+        self._open_row[bank] = row
+        if is_write:
+            self._row_dirty[bank] = True
+            self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
+        latency += self.timing.burst
+        self.busy_cycles += latency
+        return latency
+
+    def wear_summary(self, addr_range=None):
+        """(written blocks, total writes, max per-block writes) —
+        optionally restricted to ``addr_range = (lo, hi)``."""
+        if addr_range is None:
+            counts = self.write_counts.values()
+        else:
+            lo, hi = addr_range
+            counts = [count for addr, count in self.write_counts.items()
+                      if lo <= addr < hi]
+        counts = list(counts)
+        if not counts:
+            return (0, 0, 0)
+        return (len(counts), sum(counts), max(counts))
+
+    def reset_row_buffers(self) -> None:
+        """Close all rows (e.g., across a simulated power cycle)."""
+        self._open_row = [None] * self.num_banks
+        self._row_dirty = [False] * self.num_banks
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryDevice {self.name} banks={self.num_banks}>"

@@ -1,0 +1,33 @@
+"""The port between the cache hierarchy and a memory system.
+
+Every consistency system (ThyNVM, journaling, shadow paging, the ideal
+machines) implements :class:`MemoryPort`.  Addresses crossing the port
+are *physical* block-aligned addresses; translation to hardware
+addresses (remapping, working-copy placement) happens behind it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol
+
+from .sim.request import MemoryRequest, Origin
+
+ReadCallback = Callable[[MemoryRequest], None]
+WriteCallback = Callable[[MemoryRequest], None]
+
+
+class MemoryPort(Protocol):
+    """Block-granularity load/store interface of a memory system."""
+
+    def read_block(self, addr: int, origin: Origin,
+                   callback: ReadCallback) -> None:
+        """Read one block; ``callback`` fires when the data is available."""
+        ...
+
+    def write_block(self, addr: int, origin: Origin,
+                    data: Optional[bytes] = None,
+                    callback: Optional[WriteCallback] = None) -> None:
+        """Write one block; ``callback`` (if given) fires when the write
+        has been serviced by the target device.  The port guarantees
+        eventual delivery, retrying internally under backpressure."""
+        ...

@@ -1,0 +1,96 @@
+"""The discrete-event simulation engine.
+
+A thin, fast wrapper around a binary heap of :class:`~repro.sim.event.Event`
+objects.  Time is measured in CPU cycles (integers).  The engine plays
+the role gem5's event queue plays in the paper's infrastructure.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Optional
+
+from ..errors import SimulationError
+from .event import Event
+
+
+class Engine:
+    """Deterministic single-threaded event loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._seq = 0
+        self.now: int = 0
+        self._events_fired = 0
+
+    # --- scheduling ----------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` at absolute cycle ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self.now}")
+        self._seq += 1
+        event = Event(time, self._seq, callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # --- execution -------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Fire events in order until the queue drains.
+
+        ``until`` stops the run once simulated time would pass that cycle
+        (events at exactly ``until`` still fire).  ``max_events`` is a
+        safety valve for tests.  Returns the number of events fired.
+        """
+        fired = 0
+        queue = self._queue
+        while queue:
+            event = queue[0]
+            if until is not None and event.time > until:
+                self.now = until
+                break
+            heapq.heappop(queue)
+            if event.cancelled:
+                continue
+            if event.time < self.now:
+                raise SimulationError("event heap produced a past event")
+            self.now = event.time
+            event.callback()
+            fired += 1
+            self._events_fired += 1
+            if max_events is not None and fired >= max_events:
+                break
+        else:
+            if until is not None and until > self.now:
+                self.now = until
+        return fired
+
+    def run_until_idle(self, max_events: int = 100_000_000) -> int:
+        """Run until no events remain (bounded by ``max_events``)."""
+        fired = self.run(max_events=max_events)
+        if self._queue and fired >= max_events:
+            raise SimulationError("simulation exceeded max_events; likely livelock")
+        return fired
+
+    # --- introspection -----------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Number of (possibly cancelled) events still queued."""
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        """Total events fired since construction."""
+        return self._events_fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Engine now={self.now} pending={self.pending_events}>"

@@ -1,0 +1,35 @@
+"""Event objects scheduled on the simulation engine.
+
+Events are ordered by ``(time, sequence)`` — the sequence number is a
+monotonically increasing tie-breaker so that events scheduled earlier
+fire earlier at the same timestamp, making runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Event:
+    """A scheduled callback.  Cancel with :meth:`cancel`."""
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq}{state}>"

@@ -1,0 +1,147 @@
+"""Bounded request queues with backpressure.
+
+The memory controller in Figure 2 of the paper has four queues: DRAM
+read, DRAM write, NVM read and NVM write.  :class:`BoundedQueue` models
+one of them.  Producers that find the queue full register a waiter
+callback and are re-tried in FIFO order as slots free up — this is how
+checkpointing traffic exerts backpressure on the CPU (and vice versa).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..errors import SimulationError
+from .request import MemoryRequest
+
+
+class BoundedQueue:
+    """FIFO of :class:`MemoryRequest` with a fixed capacity."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"queue {name!r} needs positive capacity")
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[MemoryRequest] = deque()
+        self._waiters: Deque[Callable[[], None]] = deque()
+        self.max_occupancy = 0
+        self.total_enqueued = 0
+
+    # --- producer side ---------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    def try_enqueue(self, request: MemoryRequest) -> bool:
+        """Append ``request`` if a slot is free; return success."""
+        if self.full:
+            return False
+        self._items.append(request)
+        self.total_enqueued += 1
+        if len(self._items) > self.max_occupancy:
+            self.max_occupancy = len(self._items)
+        return True
+
+    def wait_for_slot(self, callback: Callable[[], None]) -> None:
+        """Call ``callback`` once, the next time a slot frees up."""
+        self._waiters.append(callback)
+
+    # --- consumer side ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def peek(self) -> Optional[MemoryRequest]:
+        return self._items[0] if self._items else None
+
+    def items(self):
+        """Iterate queued requests oldest-first (read-after-write
+        forwarding scans this for same-address payloads)."""
+        return iter(self._items)
+
+    def pop(self) -> MemoryRequest:
+        """Remove and return the head; wakes one waiter."""
+        if not self._items:
+            raise SimulationError(f"pop from empty queue {self.name!r}")
+        request = self._items.popleft()
+        self._wake_one()
+        return request
+
+    def pop_ready(
+        self,
+        ready: Callable[[MemoryRequest], bool],
+        prefer: Callable[[MemoryRequest], bool],
+        demand: Optional[Callable[[MemoryRequest], bool]] = None,
+    ) -> Optional[MemoryRequest]:
+        """Remove the best serviceable request, or None.
+
+        ``ready`` filters requests whose bank is free.  Among ready
+        requests the ordering is: demand (``demand``) beats background,
+        row-buffer hits (``prefer``) beat misses, older beats younger.
+        Same-address requests are never reordered: a request is
+        ineligible while an older same-address request is still queued.
+        """
+        best_index = -1
+        best_key = None
+        seen_addrs = set()
+        for index, request in enumerate(self._items):
+            if request.addr not in seen_addrs and ready(request):
+                key = (
+                    0 if (demand is None or demand(request)) else 1,
+                    0 if prefer(request) else 1,
+                )
+                if best_key is None or key < best_key:
+                    best_key, best_index = key, index
+                    if key == (0, 0):
+                        break   # oldest demand row-hit; cannot improve
+            seen_addrs.add(request.addr)
+        if best_index < 0:
+            return None
+        request = self._items[best_index]
+        del self._items[best_index]
+        self._wake_one()
+        return request
+
+    def pop_best(self, prefer: Callable[[MemoryRequest], bool]) -> MemoryRequest:
+        """Remove the first request satisfying ``prefer``, else the head.
+
+        This implements FR-FCFS-style scheduling: the controller prefers
+        row-buffer hits but never starves the oldest request for long
+        because the search is bounded by the queue capacity.
+
+        Same-address requests are never reordered with respect to each
+        other — consistency protocols rely on program order between
+        writes to the same hardware block (e.g., a consolidation write
+        followed by a checkpoint write of the same slot).
+        """
+        if not self._items:
+            raise SimulationError(f"pop_best from empty queue {self.name!r}")
+        seen_addrs = set()
+        for index, request in enumerate(self._items):
+            if prefer(request) and request.addr not in seen_addrs:
+                del self._items[index]
+                self._wake_one()
+                return request
+            seen_addrs.add(request.addr)
+        return self.pop()
+
+    def drop_all(self) -> int:
+        """Discard everything (crash model: in-flight writes are lost).
+
+        Waiters are dropped silently — after a crash nothing resumes.
+        """
+        count = len(self._items)
+        self._items.clear()
+        self._waiters.clear()
+        return count
+
+    def _wake_one(self) -> None:
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter()

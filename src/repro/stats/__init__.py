@@ -1,0 +1,7 @@
+"""Statistics collection and reporting."""
+
+from .collector import StatsCollector
+from .counters import CounterGroup
+from .histogram import Histogram
+
+__all__ = ["StatsCollector", "CounterGroup", "Histogram"]

@@ -1,0 +1,46 @@
+"""Named counter groups.
+
+A :class:`CounterGroup` is a defaultdict-of-int with a group name, used
+for breakdowns like "NVM write blocks by origin".  Unlike a bare dict,
+it prints deterministically and supports merging, which the harness
+uses when aggregating repeated runs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterator, Tuple
+
+
+class CounterGroup:
+    """A named collection of integer counters."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._counts: Dict[str, int] = defaultdict(int)
+
+    def add(self, key: str, amount: int = 1) -> None:
+        self._counts[key] += amount
+
+    def get(self, key: str) -> int:
+        return self._counts.get(key, 0)
+
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def merge(self, other: "CounterGroup") -> None:
+        for key, value in other.items():
+            self._counts[key] += value
+
+    def items(self) -> Iterator[Tuple[str, int]]:
+        return iter(sorted(self._counts.items()))
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(sorted(self._counts.items()))
+
+    def __getitem__(self, key: str) -> int:
+        return self.get(key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{k}={v}" for k, v in self.items())
+        return f"<CounterGroup {self.name}: {inner}>"

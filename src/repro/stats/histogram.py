@@ -1,0 +1,55 @@
+"""A small streaming histogram for latency distributions.
+
+Keeps power-of-two buckets plus running sum/count/min/max, so mean and
+tail behaviour can be reported without storing every sample.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class Histogram:
+    """Power-of-two bucketed histogram of non-negative integers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+        self._buckets: Dict[int, int] = {}
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r} got negative value")
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = value.bit_length()  # 0 -> bucket 0, 1 -> 1, 2..3 -> 2, ...
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_counts(self) -> Dict[int, int]:
+        """Bucket -> count, keyed by bit length of the value."""
+        return dict(sorted(self._buckets.items()))
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for bucket, count in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Histogram {self.name} n={self.count} mean={self.mean:.1f} "
+                f"min={self.min} max={self.max}>")

@@ -1,0 +1,93 @@
+"""Full-run reports: render a StatsCollector as text or JSON.
+
+The harness's tables show figure-shaped slices; this module dumps the
+*whole* measurement record of a run (gem5's ``stats.txt`` analogue) for
+offline analysis or regression diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .collector import StatsCollector
+from .histogram import Histogram
+
+
+def _histogram_dict(histogram: Histogram) -> Dict[str, object]:
+    return {
+        "count": histogram.count,
+        "mean": round(histogram.mean, 2),
+        "min": histogram.min,
+        "max": histogram.max,
+        "buckets_pow2": histogram.bucket_counts(),
+    }
+
+
+def full_report(stats: StatsCollector) -> Dict[str, object]:
+    """Every measurement in one nested dict (JSON-serializable)."""
+    return {
+        "execution": {
+            "cycles": stats.cycles,
+            "seconds": stats.seconds,
+            "instructions": stats.instructions,
+            "ipc": round(stats.ipc, 6),
+            "transactions": stats.transactions,
+            "throughput_tps": round(stats.throughput_tps, 1),
+        },
+        "stalls": {
+            "by_cause": stats.stall_cycles.as_dict(),
+            "total": stats.total_stall_cycles,
+            "checkpoint_fraction": round(stats.checkpoint_stall_fraction, 6),
+        },
+        "traffic_blocks": {
+            "nvm_writes": stats.nvm_writes.as_dict(),
+            "nvm_reads": stats.nvm_reads.as_dict(),
+            "dram_writes": stats.dram_writes.as_dict(),
+            "dram_reads": stats.dram_reads.as_dict(),
+            "nvm_write_breakdown": stats.nvm_write_breakdown(),
+            "nvm_write_bandwidth_MBps": round(
+                stats.nvm_write_bandwidth / (1 << 20), 3),
+        },
+        "latency": {
+            "read": _histogram_dict(stats.read_latency),
+            "write": _histogram_dict(stats.write_latency),
+            "checkpoint_duration": _histogram_dict(stats.checkpoint_duration),
+        },
+        "checkpointing": {
+            "epochs": stats.epochs_completed,
+            "forced_by_overflow": stats.epochs_forced_by_overflow,
+            "busy_cycles": stats.checkpoint_busy_cycles,
+            "pages_promoted": stats.pages_promoted,
+            "pages_demoted": stats.pages_demoted,
+            "table_entries_peak": stats.table_entries_peak,
+            "btt_peak_entries": stats.btt_peak_entries,
+            "ptt_peak_entries": stats.ptt_peak_entries,
+        },
+        "caches": {
+            "hits": stats.cache_hits.as_dict(),
+            "misses": stats.cache_misses.as_dict(),
+        },
+    }
+
+
+def text_report(stats: StatsCollector, title: str = "run") -> str:
+    """Human-readable flat rendering of :func:`full_report`."""
+    lines = [f"=== {title} ==="]
+
+    def walk(prefix: str, node) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                walk(f"{prefix}.{key}" if prefix else key, value)
+        else:
+            lines.append(f"{prefix:48s} {node}")
+
+    walk("", full_report(stats))
+    return "\n".join(lines)
+
+
+def json_report(stats: StatsCollector, **dump_kwargs) -> str:
+    """JSON rendering (stable key order for diffing)."""
+    dump_kwargs.setdefault("indent", 2)
+    dump_kwargs.setdefault("sort_keys", True)
+    return json.dumps(full_report(stats), **dump_kwargs)

@@ -1,0 +1,50 @@
+"""Time and size units used throughout the simulator.
+
+The simulator's base time unit is the **CPU cycle** at 3 GHz (Table 2 of
+the paper), so one nanosecond is exactly three cycles and every latency
+in the paper's configuration converts to an integer number of cycles.
+Keeping time integral makes event ordering deterministic and avoids
+floating-point drift over long runs.
+"""
+
+from __future__ import annotations
+
+CPU_FREQ_HZ = 3_000_000_000
+CYCLES_PER_NS = 3
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+
+def ns_to_cycles(ns: float) -> int:
+    """Convert nanoseconds to CPU cycles (rounded to nearest cycle)."""
+    return int(round(ns * CYCLES_PER_NS))
+
+
+def us_to_cycles(us: float) -> int:
+    """Convert microseconds to CPU cycles."""
+    return int(round(us * 1_000 * CYCLES_PER_NS))
+
+
+def ms_to_cycles(ms: float) -> int:
+    """Convert milliseconds to CPU cycles."""
+    return int(round(ms * 1_000_000 * CYCLES_PER_NS))
+
+
+def cycles_to_ns(cycles: int) -> float:
+    """Convert CPU cycles to nanoseconds."""
+    return cycles / CYCLES_PER_NS
+
+
+def cycles_to_seconds(cycles: int) -> float:
+    """Convert CPU cycles to seconds of simulated time."""
+    return cycles / CPU_FREQ_HZ
+
+
+def bytes_per_second(num_bytes: int, cycles: int) -> float:
+    """Bandwidth in bytes/second for ``num_bytes`` moved over ``cycles``."""
+    seconds = cycles_to_seconds(cycles)
+    if seconds <= 0:
+        return 0.0
+    return num_bytes / seconds

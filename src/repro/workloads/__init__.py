@@ -1,0 +1,16 @@
+"""Workload generators: the paper's three evaluation suites (§5.1).
+
+* :mod:`repro.workloads.micro` — Random / Streaming / Sliding access
+  patterns with 1:1 read/write ratios,
+* :mod:`repro.workloads.kvstore` — hash-table and red-black-tree
+  key-value stores executing real data-structure code over a simulated
+  heap, emitting the resulting memory trace,
+* :mod:`repro.workloads.spec` — synthetic trace models of the eight
+  memory-intensive SPEC CPU2006 benchmarks the paper selects.
+"""
+
+from .micro import random_trace, sliding_trace, streaming_trace
+from .spec import SPEC_MODELS, spec_trace
+
+__all__ = ["random_trace", "streaming_trace", "sliding_trace",
+           "SPEC_MODELS", "spec_trace"]

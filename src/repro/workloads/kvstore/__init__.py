@@ -1,0 +1,22 @@
+"""In-memory key-value stores over a simulated persistent heap.
+
+These are *real data structures* — a chaining hash table and a
+red-black tree — executing against a byte-addressable simulated heap
+(:class:`~repro.workloads.kvstore.recmem.RecordingMemory`).  Every
+pointer dereference and byte write the structure performs is recorded
+and replayed as the CPU trace, so the memory system under test sees
+authentic pointer-chasing and allocation behaviour, like the storage
+benchmarks of §5.3 (built "with key-value stores that represent
+typical in-memory storage applications").
+"""
+
+from .alloc import Allocator
+from .btree import BPlusTree
+from .hashtable import HashTable
+from .rbtree import RedBlackTree
+from .recmem import RecordingMemory
+from .workload import KVWorkload, kv_trace
+
+__all__ = ["Allocator", "BPlusTree", "HashTable", "RedBlackTree",
+           "RecordingMemory",
+           "KVWorkload", "kv_trace"]

@@ -1,0 +1,98 @@
+"""A first-fit free-list allocator for the simulated heap.
+
+Plays the role libc's malloc plays under the paper's storage
+benchmarks.  Allocations are 8-byte aligned; adjacent free chunks are
+coalesced on free, so long-running insert/delete workloads do not
+fragment unboundedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ...errors import AllocationError
+
+_ALIGN = 8
+
+
+def _align(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class Allocator:
+    """First-fit allocator over ``[base, base + size)``."""
+
+    def __init__(self, base: int, size: int) -> None:
+        if size <= 0:
+            raise AllocationError("allocator needs a positive arena size")
+        self.base = base
+        self.size = size
+        # Sorted list of (start, length) free chunks.
+        self._free: List[Tuple[int, int]] = [(base, size)]
+        self._allocated: Dict[int, int] = {}   # addr -> length
+        self.bytes_in_use = 0
+        self.peak_bytes = 0
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` (rounded up to 8-byte alignment)."""
+        if nbytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        need = _align(nbytes)
+        for index, (start, length) in enumerate(self._free):
+            if length >= need:
+                if length == need:
+                    del self._free[index]
+                else:
+                    self._free[index] = (start + need, length - need)
+                self._allocated[start] = need
+                self.bytes_in_use += need
+                if self.bytes_in_use > self.peak_bytes:
+                    self.peak_bytes = self.bytes_in_use
+                return start
+        raise AllocationError(
+            f"out of simulated heap: need {need}B, "
+            f"{self.size - self.bytes_in_use}B free (fragmented)")
+
+    def free(self, addr: int) -> None:
+        """Release an allocation, coalescing with free neighbours."""
+        length = self._allocated.pop(addr, None)
+        if length is None:
+            raise AllocationError(f"free of unallocated address 0x{addr:x}")
+        self.bytes_in_use -= length
+        # Insert keeping the free list sorted, then coalesce.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < addr:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (addr, length))
+        self._coalesce_around(lo)
+
+    def _coalesce_around(self, index: int) -> None:
+        # Merge with the next chunk first, then the previous one.
+        if index + 1 < len(self._free):
+            start, length = self._free[index]
+            nxt_start, nxt_len = self._free[index + 1]
+            if start + length == nxt_start:
+                self._free[index] = (start, length + nxt_len)
+                del self._free[index + 1]
+        if index > 0:
+            prev_start, prev_len = self._free[index - 1]
+            start, length = self._free[index]
+            if prev_start + prev_len == start:
+                self._free[index - 1] = (prev_start, prev_len + length)
+                del self._free[index]
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size - self.bytes_in_use
+
+    def check_invariants(self) -> None:
+        """Free list must be sorted, non-overlapping and non-adjacent."""
+        for (a, al), (b, _bl) in zip(self._free, self._free[1:]):
+            if a + al > b:
+                raise AllocationError("free list overlap")
+            if a + al == b:
+                raise AllocationError("free list missed a coalesce")

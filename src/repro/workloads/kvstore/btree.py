@@ -1,0 +1,295 @@
+"""B+-tree key-value store over the simulated heap.
+
+The third store (after the paper's hash table and red-black tree):
+a disk-style B+-tree with linked leaves, the structure real storage
+engines put on persistent memory, and the one that supports *range
+scans* (YCSB workload E needs them; the hash table cannot).
+
+Layout (all fields 8-byte little-endian)::
+
+    node:   [is_leaf][nkeys][next_leaf][keys x ORDER][ptrs x ORDER+1]
+    value:  [length][bytes...]          (allocated out of line)
+
+Inner nodes use ``ptrs[0..nkeys]`` as children; leaves use
+``ptrs[0..nkeys-1]`` as value-cell pointers and ``next_leaf`` to chain
+rightwards.  Deletion is *lazy* (keys are removed from leaves without
+rebalancing — the standard engineering shortcut); the invariant checker
+verifies ordering, uniform height and leaf chaining accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...errors import WorkloadError
+from .alloc import Allocator
+from .recmem import NULL, RecordingMemory
+
+ORDER = 8                     # max keys per node (steady state)
+_OFF_IS_LEAF = 0
+_OFF_NKEYS = 8
+_OFF_NEXT = 16
+_OFF_KEYS = 24
+# One spare key/pointer slot: a node is allowed to hold ORDER+1 keys
+# transiently, between an insert and the split it triggers.
+_OFF_PTRS = _OFF_KEYS + 8 * (ORDER + 1)
+_NODE_BYTES = _OFF_PTRS + 8 * (ORDER + 2)
+
+
+class BPlusTree:
+    """An order-8 B+-tree with linked leaves and lazy deletion."""
+
+    def __init__(self, memory: RecordingMemory, allocator: Allocator) -> None:
+        self.memory = memory
+        self.allocator = allocator
+        self.root = self._new_node(is_leaf=True)
+        self.entries = 0
+
+    # --- node field helpers ----------------------------------------------
+
+    def _new_node(self, is_leaf: bool) -> int:
+        node = self.allocator.alloc(_NODE_BYTES)
+        self.memory.write_u64(node + _OFF_IS_LEAF, 1 if is_leaf else 0)
+        self.memory.write_u64(node + _OFF_NKEYS, 0)
+        self.memory.write_u64(node + _OFF_NEXT, NULL)
+        return node
+
+    def _is_leaf(self, node: int) -> bool:
+        return self.memory.read_u64(node + _OFF_IS_LEAF) == 1
+
+    def _nkeys(self, node: int) -> int:
+        return self.memory.read_u64(node + _OFF_NKEYS)
+
+    def _set_nkeys(self, node: int, n: int) -> None:
+        self.memory.write_u64(node + _OFF_NKEYS, n)
+
+    def _key(self, node: int, index: int) -> int:
+        return self.memory.read_u64(node + _OFF_KEYS + 8 * index)
+
+    def _set_key(self, node: int, index: int, key: int) -> None:
+        self.memory.write_u64(node + _OFF_KEYS + 8 * index, key)
+
+    def _ptr(self, node: int, index: int) -> int:
+        return self.memory.read_u64(node + _OFF_PTRS + 8 * index)
+
+    def _set_ptr(self, node: int, index: int, ptr: int) -> None:
+        self.memory.write_u64(node + _OFF_PTRS + 8 * index, ptr)
+
+    def _next_leaf(self, node: int) -> int:
+        return self.memory.read_u64(node + _OFF_NEXT)
+
+    def _set_next_leaf(self, node: int, ptr: int) -> None:
+        self.memory.write_u64(node + _OFF_NEXT, ptr)
+
+    # --- value cells ---------------------------------------------------------
+
+    def _store_value(self, value: bytes) -> int:
+        cell = self.allocator.alloc(8 + max(1, len(value)))
+        self.memory.write_u64(cell, len(value))
+        if value:
+            self.memory.write(cell + 8, value)
+        return cell
+
+    def _load_value(self, cell: int) -> bytes:
+        length = self.memory.read_u64(cell)
+        return self.memory.read(cell + 8, length)
+
+    # --- search ------------------------------------------------------------------
+
+    def _descend(self, key: int) -> Tuple[int, List[Tuple[int, int]]]:
+        """Walk to the leaf for ``key``; returns (leaf, [(parent, slot)])."""
+        path: List[Tuple[int, int]] = []
+        node = self.root
+        while not self._is_leaf(node):
+            nkeys = self._nkeys(node)
+            slot = 0
+            while slot < nkeys and key >= self._key(node, slot):
+                slot += 1
+            path.append((node, slot))
+            node = self._ptr(node, slot)
+        return node, path
+
+    def _leaf_slot(self, leaf: int, key: int) -> Optional[int]:
+        for index in range(self._nkeys(leaf)):
+            if self._key(leaf, index) == key:
+                return index
+        return None
+
+    def search(self, key: int) -> Optional[bytes]:
+        """Return the value for ``key``, or None."""
+        leaf, _path = self._descend(key)
+        slot = self._leaf_slot(leaf, key)
+        if slot is None:
+            return None
+        return self._load_value(self._ptr(leaf, slot))
+
+    def range_scan(self, lo: int, hi: int) -> List[Tuple[int, bytes]]:
+        """All (key, value) with lo <= key <= hi, in key order."""
+        if lo > hi:
+            return []
+        leaf, _path = self._descend(lo)
+        out: List[Tuple[int, bytes]] = []
+        while leaf != NULL:
+            for index in range(self._nkeys(leaf)):
+                key = self._key(leaf, index)
+                if key < lo:
+                    continue
+                if key > hi:
+                    return out
+                out.append((key, self._load_value(self._ptr(leaf, index))))
+            leaf = self._next_leaf(leaf)
+        return out
+
+    # --- insert ---------------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> bool:
+        """Insert or update; returns True if a new key was created."""
+        leaf, path = self._descend(key)
+        slot = self._leaf_slot(leaf, key)
+        if slot is not None:
+            old_cell = self._ptr(leaf, slot)
+            self.allocator.free(old_cell)
+            self._set_ptr(leaf, slot, self._store_value(value))
+            return False
+        self._leaf_insert(leaf, key, self._store_value(value))
+        self.entries += 1
+        if self._nkeys(leaf) > ORDER:
+            self._split(leaf, path)
+        return True
+
+    def _leaf_insert(self, leaf: int, key: int, cell: int) -> None:
+        nkeys = self._nkeys(leaf)
+        index = nkeys
+        while index > 0 and self._key(leaf, index - 1) > key:
+            self._set_key(leaf, index, self._key(leaf, index - 1))
+            self._set_ptr(leaf, index, self._ptr(leaf, index - 1))
+            index -= 1
+        self._set_key(leaf, index, key)
+        self._set_ptr(leaf, index, cell)
+        self._set_nkeys(leaf, nkeys + 1)
+
+    def _split(self, node: int, path: List[Tuple[int, int]]) -> None:
+        """Split an overfull node, propagating up the recorded path."""
+        while True:
+            nkeys = self._nkeys(node)
+            if nkeys <= ORDER:
+                return
+            is_leaf = self._is_leaf(node)
+            sibling = self._new_node(is_leaf)
+            half = nkeys // 2
+            if is_leaf:
+                # Right sibling takes keys[half:]; separator = its first key.
+                move = nkeys - half
+                for index in range(move):
+                    self._set_key(sibling, index, self._key(node, half + index))
+                    self._set_ptr(sibling, index, self._ptr(node, half + index))
+                self._set_nkeys(sibling, move)
+                self._set_nkeys(node, half)
+                self._set_next_leaf(sibling, self._next_leaf(node))
+                self._set_next_leaf(node, sibling)
+                separator = self._key(sibling, 0)
+            else:
+                # keys[half] moves up; sibling takes keys[half+1:].
+                separator = self._key(node, half)
+                move = nkeys - half - 1
+                for index in range(move):
+                    self._set_key(sibling, index,
+                                  self._key(node, half + 1 + index))
+                    self._set_ptr(sibling, index,
+                                  self._ptr(node, half + 1 + index))
+                self._set_ptr(sibling, move, self._ptr(node, nkeys))
+                self._set_nkeys(sibling, move)
+                self._set_nkeys(node, half)
+
+            if not path:
+                new_root = self._new_node(is_leaf=False)
+                self._set_nkeys(new_root, 1)
+                self._set_key(new_root, 0, separator)
+                self._set_ptr(new_root, 0, node)
+                self._set_ptr(new_root, 1, sibling)
+                self.root = new_root
+                return
+            parent, slot = path.pop()
+            self._parent_insert(parent, slot, separator, sibling)
+            node = parent
+
+    def _parent_insert(self, parent: int, slot: int, separator: int,
+                       right: int) -> None:
+        nkeys = self._nkeys(parent)
+        for index in range(nkeys, slot, -1):
+            self._set_key(parent, index, self._key(parent, index - 1))
+            self._set_ptr(parent, index + 1, self._ptr(parent, index))
+        self._set_key(parent, slot, separator)
+        self._set_ptr(parent, slot + 1, right)
+        self._set_nkeys(parent, nkeys + 1)
+
+    # --- delete (lazy) ------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key`` (lazy: no rebalance); returns existence."""
+        leaf, _path = self._descend(key)
+        slot = self._leaf_slot(leaf, key)
+        if slot is None:
+            return False
+        self.allocator.free(self._ptr(leaf, slot))
+        nkeys = self._nkeys(leaf)
+        for index in range(slot, nkeys - 1):
+            self._set_key(leaf, index, self._key(leaf, index + 1))
+            self._set_ptr(leaf, index, self._ptr(leaf, index + 1))
+        self._set_nkeys(leaf, nkeys - 1)
+        self.entries -= 1
+        return True
+
+    # --- validation (tests) ---------------------------------------------------------------
+
+    def check_invariants(self) -> int:
+        """Verify ordering, uniform leaf depth and leaf chaining.
+
+        Returns the tree height.  Lazy deletion means occupancy minima
+        are not enforced, only structural soundness.
+        """
+        leaves: List[int] = []
+        height = self._check_subtree(self.root, None, None, leaves)
+        # Leaf chain visits exactly the leaves, left to right.
+        chain = []
+        node = leaves[0] if leaves else NULL
+        while node != NULL:
+            chain.append(node)
+            node = self._next_leaf(node)
+        if chain[:len(leaves)] != leaves:
+            raise AssertionError("leaf chain disagrees with tree order")
+        keys = [self._key(leaf, i)
+                for leaf in leaves for i in range(self._nkeys(leaf))]
+        if keys != sorted(keys) or len(set(keys)) != len(keys):
+            raise AssertionError("leaf keys not strictly increasing")
+        if len(keys) != self.entries:
+            raise AssertionError("entry count drifted")
+        return height
+
+    def _check_subtree(self, node: int, lo, hi, leaves: List[int]) -> int:
+        nkeys = self._nkeys(node)
+        for index in range(nkeys):
+            key = self._key(node, index)
+            if lo is not None and key < lo:
+                raise AssertionError("key below lower bound")
+            if hi is not None and key >= hi:
+                raise AssertionError("key above upper bound")
+            if index > 0 and key <= self._key(node, index - 1):
+                raise AssertionError("keys out of order in node")
+        if self._is_leaf(node):
+            leaves.append(node)
+            return 1
+        if nkeys == 0:
+            raise AssertionError("empty inner node")
+        heights = set()
+        for index in range(nkeys + 1):
+            child_lo = self._key(node, index - 1) if index > 0 else lo
+            child_hi = self._key(node, index) if index < nkeys else hi
+            heights.add(self._check_subtree(self._ptr(node, index),
+                                            child_lo, child_hi, leaves))
+        if len(heights) != 1:
+            raise AssertionError("leaves at different depths")
+        return heights.pop() + 1
+
+    def __len__(self) -> int:
+        return self.entries

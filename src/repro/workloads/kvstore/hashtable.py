@@ -1,0 +1,109 @@
+"""Chaining hash table over the simulated heap.
+
+Layout (all fields 8-byte little-endian unless noted)::
+
+    table:  bucket_count pointers, bucket[i] -> first node or NULL
+    node:   [next: u64][key: u64][value_len: u64][value: value_len bytes]
+
+Every bucket walk, key compare and value copy goes through
+:class:`RecordingMemory`, so search/insert/delete produce the pointer-
+chasing and value-sized write traffic the paper's hash-table store
+exhibits (Fig. 9(a): throughput vs request size).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import WorkloadError
+from .alloc import Allocator
+from .recmem import NULL, RecordingMemory
+
+_PTR = 8
+_NODE_HEADER = 3 * _PTR   # next, key, value_len
+
+
+class HashTable:
+    """A fixed-bucket-count chaining hash table."""
+
+    def __init__(self, memory: RecordingMemory, allocator: Allocator,
+                 bucket_count: int = 1024) -> None:
+        if bucket_count <= 0:
+            raise WorkloadError("bucket_count must be positive")
+        self.memory = memory
+        self.allocator = allocator
+        self.bucket_count = bucket_count
+        self._table = allocator.alloc(bucket_count * _PTR)
+        for i in range(bucket_count):
+            memory.write_u64(self._table + i * _PTR, NULL)
+        self.entries = 0
+
+    # --- helpers ---------------------------------------------------------
+
+    def _bucket_addr(self, key: int) -> int:
+        # Fibonacci hashing spreads sequential keys across buckets.
+        index = ((key * 11400714819323198485) >> 32) % self.bucket_count
+        return self._table + index * _PTR
+
+    def _find(self, key: int):
+        """Walk the chain; returns (prev_link_addr, node_addr or NULL)."""
+        link = self._bucket_addr(key)
+        node = self.memory.read_u64(link)
+        while node != NULL:
+            node_key = self.memory.read_u64(node + _PTR)
+            if node_key == key:
+                return link, node
+            link = node   # the 'next' field is at offset 0
+            node = self.memory.read_u64(node)
+        return link, NULL
+
+    # --- operations -----------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> bool:
+        """Insert or update; returns True if a new entry was created."""
+        link, node = self._find(key)
+        if node != NULL:
+            # Update in place when the size matches, else reallocate.
+            old_len = self.memory.read_u64(node + 2 * _PTR)
+            if old_len == len(value):
+                self.memory.write(node + _NODE_HEADER, value)
+                return False
+            nxt = self.memory.read_u64(node)
+            self.allocator.free(node)
+            new_node = self._make_node(key, value, nxt)
+            self.memory.write_u64(link, new_node)
+            return False
+        new_node = self._make_node(key, value, NULL)
+        self.memory.write_u64(link, new_node)
+        self.entries += 1
+        return True
+
+    def _make_node(self, key: int, value: bytes, nxt: int) -> int:
+        node = self.allocator.alloc(_NODE_HEADER + len(value))
+        self.memory.write_u64(node, nxt)
+        self.memory.write_u64(node + _PTR, key)
+        self.memory.write_u64(node + 2 * _PTR, len(value))
+        self.memory.write(node + _NODE_HEADER, value)
+        return node
+
+    def search(self, key: int) -> Optional[bytes]:
+        """Return the value, reading it out of the heap, or None."""
+        _link, node = self._find(key)
+        if node == NULL:
+            return None
+        length = self.memory.read_u64(node + 2 * _PTR)
+        return self.memory.read(node + _NODE_HEADER, length)
+
+    def delete(self, key: int) -> bool:
+        """Unlink and free; returns whether the key existed."""
+        link, node = self._find(key)
+        if node == NULL:
+            return False
+        nxt = self.memory.read_u64(node)
+        self.memory.write_u64(link, nxt)
+        self.allocator.free(node)
+        self.entries -= 1
+        return True
+
+    def __len__(self) -> int:
+        return self.entries

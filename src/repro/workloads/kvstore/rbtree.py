@@ -1,0 +1,363 @@
+"""Red-black tree key-value store over the simulated heap.
+
+A faithful CLRS red-black tree with a real NIL sentinel node, storing
+values inline.  Node layout::
+
+    [key: u64][left: u64][right: u64][parent: u64][color: u64]
+    [value_len: u64][value: value_len bytes]
+
+Rotations and fixups perform their pointer updates through
+:class:`RecordingMemory`, so the recorded trace contains the scattered
+read-modify-write traffic up the tree that makes this store the harder
+case for page-granularity checkpointing (Fig. 9(b)/10(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .alloc import Allocator
+from .recmem import RecordingMemory
+
+_PTR = 8
+_OFF_KEY = 0
+_OFF_LEFT = 8
+_OFF_RIGHT = 16
+_OFF_PARENT = 24
+_OFF_COLOR = 32
+_OFF_VLEN = 40
+_HEADER = 48
+
+RED = 0
+BLACK = 1
+
+
+class RedBlackTree:
+    """CLRS red-black tree with inline values."""
+
+    def __init__(self, memory: RecordingMemory, allocator: Allocator) -> None:
+        self.memory = memory
+        self.allocator = allocator
+        # The NIL sentinel: black, self-referencing children.
+        self.nil = allocator.alloc(_HEADER)
+        memory.write_u64(self.nil + _OFF_COLOR, BLACK)
+        memory.write_u64(self.nil + _OFF_LEFT, self.nil)
+        memory.write_u64(self.nil + _OFF_RIGHT, self.nil)
+        memory.write_u64(self.nil + _OFF_PARENT, self.nil)
+        memory.write_u64(self.nil + _OFF_VLEN, 0)
+        self.root = self.nil
+        self.entries = 0
+
+    # --- field accessors (each is one recorded memory access) --------------
+
+    def _key(self, n: int) -> int:
+        return self.memory.read_u64(n + _OFF_KEY)
+
+    def _left(self, n: int) -> int:
+        return self.memory.read_u64(n + _OFF_LEFT)
+
+    def _right(self, n: int) -> int:
+        return self.memory.read_u64(n + _OFF_RIGHT)
+
+    def _parent(self, n: int) -> int:
+        return self.memory.read_u64(n + _OFF_PARENT)
+
+    def _color(self, n: int) -> int:
+        return self.memory.read_u64(n + _OFF_COLOR)
+
+    def _set_key(self, n: int, v: int) -> None:
+        self.memory.write_u64(n + _OFF_KEY, v)
+
+    def _set_left(self, n: int, v: int) -> None:
+        self.memory.write_u64(n + _OFF_LEFT, v)
+
+    def _set_right(self, n: int, v: int) -> None:
+        self.memory.write_u64(n + _OFF_RIGHT, v)
+
+    def _set_parent(self, n: int, v: int) -> None:
+        self.memory.write_u64(n + _OFF_PARENT, v)
+
+    def _set_color(self, n: int, v: int) -> None:
+        self.memory.write_u64(n + _OFF_COLOR, v)
+
+    # --- rotations ------------------------------------------------------------
+
+    def _rotate_left(self, x: int) -> None:
+        y = self._right(x)
+        self._set_right(x, self._left(y))
+        if self._left(y) != self.nil:
+            self._set_parent(self._left(y), x)
+        self._set_parent(y, self._parent(x))
+        xp = self._parent(x)
+        if xp == self.nil:
+            self.root = y
+        elif x == self._left(xp):
+            self._set_left(xp, y)
+        else:
+            self._set_right(xp, y)
+        self._set_left(y, x)
+        self._set_parent(x, y)
+
+    def _rotate_right(self, x: int) -> None:
+        y = self._left(x)
+        self._set_left(x, self._right(y))
+        if self._right(y) != self.nil:
+            self._set_parent(self._right(y), x)
+        self._set_parent(y, self._parent(x))
+        xp = self._parent(x)
+        if xp == self.nil:
+            self.root = y
+        elif x == self._right(xp):
+            self._set_right(xp, y)
+        else:
+            self._set_left(xp, y)
+        self._set_right(y, x)
+        self._set_parent(x, y)
+
+    # --- search -----------------------------------------------------------------
+
+    def _find_node(self, key: int) -> int:
+        node = self.root
+        while node != self.nil:
+            node_key = self._key(node)
+            if key == node_key:
+                return node
+            node = self._left(node) if key < node_key else self._right(node)
+        return self.nil
+
+    def search(self, key: int) -> Optional[bytes]:
+        node = self._find_node(key)
+        if node == self.nil:
+            return None
+        length = self.memory.read_u64(node + _OFF_VLEN)
+        return self.memory.read(node + _HEADER, length)
+
+    # --- insert -------------------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> bool:
+        """Insert or update; returns True if a new node was created."""
+        existing = self._find_node(key)
+        if existing != self.nil:
+            old_len = self.memory.read_u64(existing + _OFF_VLEN)
+            if old_len == len(value):
+                self.memory.write(existing + _HEADER, value)
+            else:
+                # Reallocate in place of the old node: splice the new
+                # node into the same tree position.
+                self._replace_value(existing, value)
+            return False
+
+        node = self.allocator.alloc(_HEADER + len(value))
+        self._set_key(node, key)
+        self.memory.write_u64(node + _OFF_VLEN, len(value))
+        if value:
+            self.memory.write(node + _HEADER, value)
+        self._set_left(node, self.nil)
+        self._set_right(node, self.nil)
+        self._set_color(node, RED)
+
+        parent = self.nil
+        cursor = self.root
+        while cursor != self.nil:
+            parent = cursor
+            cursor = (self._left(cursor) if key < self._key(cursor)
+                      else self._right(cursor))
+        self._set_parent(node, parent)
+        if parent == self.nil:
+            self.root = node
+        elif key < self._key(parent):
+            self._set_left(parent, node)
+        else:
+            self._set_right(parent, node)
+        self._insert_fixup(node)
+        self.entries += 1
+        return True
+
+    def _replace_value(self, node: int, value: bytes) -> None:
+        """Value size changed: allocate a new node, relink, free the old."""
+        new = self.allocator.alloc(_HEADER + len(value))
+        # Copy header fields through the heap (real data movement).
+        for off in (_OFF_KEY, _OFF_LEFT, _OFF_RIGHT, _OFF_PARENT, _OFF_COLOR):
+            self.memory.write_u64(new + off, self.memory.read_u64(node + off))
+        self.memory.write_u64(new + _OFF_VLEN, len(value))
+        if value:
+            self.memory.write(new + _HEADER, value)
+        # Repoint neighbours.
+        left, right, parent = self._left(new), self._right(new), self._parent(new)
+        if left != self.nil:
+            self._set_parent(left, new)
+        if right != self.nil:
+            self._set_parent(right, new)
+        if parent == self.nil:
+            self.root = new
+        elif self._left(parent) == node:
+            self._set_left(parent, new)
+        else:
+            self._set_right(parent, new)
+        self.allocator.free(node)
+
+    def _insert_fixup(self, z: int) -> None:
+        while self._color(self._parent(z)) == RED:
+            zp = self._parent(z)
+            zpp = self._parent(zp)
+            if zp == self._left(zpp):
+                y = self._right(zpp)
+                if self._color(y) == RED:
+                    self._set_color(zp, BLACK)
+                    self._set_color(y, BLACK)
+                    self._set_color(zpp, RED)
+                    z = zpp
+                else:
+                    if z == self._right(zp):
+                        z = zp
+                        self._rotate_left(z)
+                        zp = self._parent(z)
+                        zpp = self._parent(zp)
+                    self._set_color(zp, BLACK)
+                    self._set_color(zpp, RED)
+                    self._rotate_right(zpp)
+            else:
+                y = self._left(zpp)
+                if self._color(y) == RED:
+                    self._set_color(zp, BLACK)
+                    self._set_color(y, BLACK)
+                    self._set_color(zpp, RED)
+                    z = zpp
+                else:
+                    if z == self._left(zp):
+                        z = zp
+                        self._rotate_right(z)
+                        zp = self._parent(z)
+                        zpp = self._parent(zp)
+                    self._set_color(zp, BLACK)
+                    self._set_color(zpp, RED)
+                    self._rotate_left(zpp)
+        self._set_color(self.root, BLACK)
+
+    # --- delete --------------------------------------------------------------------
+
+    def delete(self, key: int) -> bool:
+        z = self._find_node(key)
+        if z == self.nil:
+            return False
+        y = z
+        y_color = self._color(y)
+        if self._left(z) == self.nil:
+            x = self._right(z)
+            self._transplant(z, x)
+        elif self._right(z) == self.nil:
+            x = self._left(z)
+            self._transplant(z, x)
+        else:
+            y = self._minimum(self._right(z))
+            y_color = self._color(y)
+            x = self._right(y)
+            if self._parent(y) == z:
+                self._set_parent(x, y)
+            else:
+                self._transplant(y, x)
+                self._set_right(y, self._right(z))
+                self._set_parent(self._right(y), y)
+            self._transplant(z, y)
+            self._set_left(y, self._left(z))
+            self._set_parent(self._left(y), y)
+            self._set_color(y, self._color(z))
+        if y_color == BLACK:
+            self._delete_fixup(x)
+        self.allocator.free(z)
+        self.entries -= 1
+        return True
+
+    def _transplant(self, u: int, v: int) -> None:
+        up = self._parent(u)
+        if up == self.nil:
+            self.root = v
+        elif u == self._left(up):
+            self._set_left(up, v)
+        else:
+            self._set_right(up, v)
+        self._set_parent(v, up)
+
+    def _minimum(self, node: int) -> int:
+        while self._left(node) != self.nil:
+            node = self._left(node)
+        return node
+
+    def _delete_fixup(self, x: int) -> None:
+        while x != self.root and self._color(x) == BLACK:
+            xp = self._parent(x)
+            if x == self._left(xp):
+                w = self._right(xp)
+                if self._color(w) == RED:
+                    self._set_color(w, BLACK)
+                    self._set_color(xp, RED)
+                    self._rotate_left(xp)
+                    w = self._right(xp)
+                if (self._color(self._left(w)) == BLACK
+                        and self._color(self._right(w)) == BLACK):
+                    self._set_color(w, RED)
+                    x = xp
+                else:
+                    if self._color(self._right(w)) == BLACK:
+                        self._set_color(self._left(w), BLACK)
+                        self._set_color(w, RED)
+                        self._rotate_right(w)
+                        w = self._right(xp)
+                    self._set_color(w, self._color(xp))
+                    self._set_color(xp, BLACK)
+                    self._set_color(self._right(w), BLACK)
+                    self._rotate_left(xp)
+                    x = self.root
+            else:
+                w = self._left(xp)
+                if self._color(w) == RED:
+                    self._set_color(w, BLACK)
+                    self._set_color(xp, RED)
+                    self._rotate_right(xp)
+                    w = self._left(xp)
+                if (self._color(self._right(w)) == BLACK
+                        and self._color(self._left(w)) == BLACK):
+                    self._set_color(w, RED)
+                    x = xp
+                else:
+                    if self._color(self._left(w)) == BLACK:
+                        self._set_color(self._right(w), BLACK)
+                        self._set_color(w, RED)
+                        self._rotate_left(w)
+                        w = self._left(xp)
+                    self._set_color(w, self._color(xp))
+                    self._set_color(xp, BLACK)
+                    self._set_color(self._left(w), BLACK)
+                    self._rotate_right(xp)
+                    x = self.root
+        self._set_color(x, BLACK)
+
+    # --- validation (tests) -----------------------------------------------------------
+
+    def check_invariants(self) -> int:
+        """Verify red-black properties; returns the black height."""
+        if self._color(self.root) != BLACK:
+            raise AssertionError("root must be black")
+        return self._check_subtree(self.root, None, None)
+
+    def _check_subtree(self, node: int, lo, hi) -> int:
+        if node == self.nil:
+            return 1
+        key = self._key(node)
+        if lo is not None and key <= lo:
+            raise AssertionError("BST order violated (left)")
+        if hi is not None and key >= hi:
+            raise AssertionError("BST order violated (right)")
+        color = self._color(node)
+        left, right = self._left(node), self._right(node)
+        if color == RED:
+            if self._color(left) == RED or self._color(right) == RED:
+                raise AssertionError("red node with red child")
+        lh = self._check_subtree(left, lo, key)
+        rh = self._check_subtree(right, key, hi)
+        if lh != rh:
+            raise AssertionError("black heights differ")
+        return lh + (1 if color == BLACK else 0)
+
+    def __len__(self) -> int:
+        return self.entries

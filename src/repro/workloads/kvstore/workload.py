@@ -1,0 +1,109 @@
+"""Transaction generators over the key-value stores (§5.3).
+
+A :class:`KVWorkload` executes a mix of search/insert/delete
+transactions against a hash-table or red-black-tree store living in a
+simulated heap, and yields the recorded memory accesses as the CPU
+trace.  The request size (value size) is the Fig. 9/10 x-axis
+parameter, swept from 16 B to 4 KB.
+
+The generator pre-populates the store with ``preload`` entries *before*
+tracing begins (warm store, like the paper's measurements), then emits
+one ``txn`` marker per traced transaction so the harness can report
+transactions per second.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from typing import Optional
+
+from ...cpu.trace import Op, persist, txn, work
+from ...errors import WorkloadError
+from .alloc import Allocator
+from .btree import BPlusTree
+from .hashtable import HashTable
+from .rbtree import RedBlackTree
+from .recmem import RecordingMemory
+
+
+@dataclass
+class KVWorkload:
+    """Configuration for one key-value-store run."""
+
+    structure: str = "hashtable"        # "hashtable" | "rbtree" | "btree"
+    request_size: int = 64              # value bytes (Fig. 9/10 x-axis)
+    num_ops: int = 2000                 # traced transactions
+    preload: int = 1000                 # entries inserted before tracing
+    key_space: int = 4096
+    search_frac: float = 0.5
+    insert_frac: float = 0.4            # remainder are deletes
+    heap_bytes: int = 6 * 1024 * 1024
+    heap_base: int = 0
+    work_per_access: int = 4
+    work_per_txn: int = 64              # request parsing/hashing etc.
+    # §6 explicit persistence: emit a durability barrier after every N
+    # transactions (None = rely on periodic epochs alone).
+    persist_every: Optional[int] = None
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.structure not in ("hashtable", "rbtree", "btree"):
+            raise WorkloadError(f"unknown structure {self.structure!r}")
+        if not 0 <= self.search_frac + self.insert_frac <= 1:
+            raise WorkloadError("operation fractions must sum to at most 1")
+        if self.request_size <= 0:
+            raise WorkloadError("request_size must be positive")
+        if self.persist_every is not None and self.persist_every <= 0:
+            raise WorkloadError("persist_every must be positive or None")
+
+    def build_store(self):
+        """Instantiate the heap, allocator and data structure."""
+        memory = RecordingMemory(self.heap_bytes, self.work_per_access)
+        allocator = Allocator(self.heap_base + 64, self.heap_bytes - 64)
+        if self.structure == "hashtable":
+            store = HashTable(memory, allocator,
+                              bucket_count=max(64, self.key_space // 4))
+        elif self.structure == "rbtree":
+            store = RedBlackTree(memory, allocator)
+        else:
+            store = BPlusTree(memory, allocator)
+        return memory, allocator, store
+
+
+def kv_trace(config: KVWorkload) -> Iterator[Op]:
+    """Generate the memory trace of one key-value-store run."""
+    rng = random.Random(config.seed)
+    memory, _allocator, store = config.build_store()
+
+    def value_for(key: int) -> bytes:
+        return bytes([(key * 31 + i) & 0xFF
+                      for i in range(config.request_size)])
+
+    # Warm the store silently: discard the preload's accesses.
+    live = set()
+    for _ in range(config.preload):
+        key = rng.randrange(1, config.key_space)
+        store.insert(key, value_for(key))
+        live.add(key)
+        memory.drain_ops()
+
+    for index in range(config.num_ops):
+        dice = rng.random()
+        key = rng.randrange(1, config.key_space)
+        yield work(config.work_per_txn)
+        if dice < config.search_frac:
+            store.search(key)
+        elif dice < config.search_frac + config.insert_frac:
+            store.insert(key, value_for(key))
+            live.add(key)
+        else:
+            store.delete(key)
+            live.discard(key)
+        yield from memory.drain_ops()
+        yield txn()
+        if (config.persist_every
+                and index % config.persist_every == config.persist_every - 1):
+            yield persist()

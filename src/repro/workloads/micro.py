@@ -1,0 +1,88 @@
+"""Micro-benchmarks with controlled access patterns (§5.1):
+
+* **Random** — uniformly random accesses over a large array; low
+  spatial locality, the worst case for page-granularity checkpointing.
+* **Streaming** — a sequential sweep; maximal spatial locality, the
+  best case for page writeback and the worst for per-block metadata.
+* **Sliding** — a working set that dwells on a region, then moves to
+  the next; moderate, shifting locality that exercises ThyNVM's
+  scheme-switching.
+
+All three use a 1:1 read-to-write ratio, as in the paper.  ``work_per_op``
+non-memory instructions separate consecutive accesses (memory intensity
+knob); every ``txn_every`` accesses a transaction marker is emitted so
+throughput can be reported uniformly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from ..cpu.trace import Op, read, txn, work, write
+from ..errors import WorkloadError
+
+
+def _check(footprint: int, num_ops: int, access_size: int) -> None:
+    if footprint <= 0 or num_ops <= 0 or access_size <= 0:
+        raise WorkloadError("footprint, num_ops and access_size must be positive")
+    if access_size > footprint:
+        raise WorkloadError("access_size larger than the footprint")
+
+
+def random_trace(footprint: int, num_ops: int, access_size: int = 64,
+                 work_per_op: int = 8, txn_every: int = 16,
+                 seed: int = 1) -> Iterator[Op]:
+    """Uniformly random reads/writes (1:1) over ``footprint`` bytes."""
+    _check(footprint, num_ops, access_size)
+    rng = random.Random(seed)
+    span = footprint - access_size + 1
+    for i in range(num_ops):
+        addr = (rng.randrange(span) // access_size) * access_size
+        yield work(work_per_op)
+        yield write(addr, access_size) if i % 2 == 0 else read(addr, access_size)
+        if txn_every and i % txn_every == txn_every - 1:
+            yield txn()
+
+
+def streaming_trace(footprint: int, num_ops: int, access_size: int = 64,
+                    work_per_op: int = 8, txn_every: int = 16,
+                    seed: int = 1) -> Iterator[Op]:
+    """Sequential sweep (wrapping) with alternating reads and writes."""
+    _check(footprint, num_ops, access_size)
+    del seed  # deterministic pattern; parameter kept for API uniformity
+    addr = 0
+    for i in range(num_ops):
+        yield work(work_per_op)
+        yield write(addr, access_size) if i % 2 == 0 else read(addr, access_size)
+        if i % 2 == 1:           # advance after the read/write pair
+            addr = (addr + access_size) % (footprint - access_size + 1)
+        if txn_every and i % txn_every == txn_every - 1:
+            yield txn()
+
+
+def sliding_trace(footprint: int, num_ops: int, access_size: int = 64,
+                  region_bytes: int = 64 * 1024, ops_per_region: int = 512,
+                  work_per_op: int = 8, txn_every: int = 16,
+                  seed: int = 1) -> Iterator[Op]:
+    """Random accesses within a region that slides through the array.
+
+    After ``ops_per_region`` accesses the region advances by half its
+    size, so pages stay hot for a while and then cool — the pattern the
+    paper uses to show checkpointing-scheme adaptivity.
+    """
+    _check(footprint, num_ops, access_size)
+    if region_bytes > footprint:
+        raise WorkloadError("region_bytes larger than the footprint")
+    rng = random.Random(seed)
+    region_start = 0
+    span = region_bytes - access_size + 1
+    for i in range(num_ops):
+        offset = (rng.randrange(span) // access_size) * access_size
+        addr = (region_start + offset) % (footprint - access_size + 1)
+        yield work(work_per_op)
+        yield write(addr, access_size) if i % 2 == 0 else read(addr, access_size)
+        if i and i % ops_per_region == 0:
+            region_start = (region_start + region_bytes // 2) % footprint
+        if txn_every and i % txn_every == txn_every - 1:
+            yield txn()

@@ -1,0 +1,97 @@
+"""Trace recording and replay to/from files.
+
+Workloads are ordinarily Python generators, but a downstream user often
+wants to capture a trace once (perhaps generated from an instrumented
+application) and replay it against many systems/configurations, or
+inspect it offline.  The format is line-oriented text, one op per line:
+
+    W <work-count>
+    R <addr-hex> <size>
+    S <addr-hex> <size>          (store)
+    T                            (transaction marker)
+    P                            (persistence barrier, §6)
+    # comment / blank lines ignored
+
+The format round-trips every :class:`~repro.cpu.trace.Op` and is stable
+across versions; parse errors carry line numbers.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Union
+
+from ..cpu.trace import Op, OpKind, persist, read, txn, work, write
+from ..errors import WorkloadError
+
+_KIND_CODES = {
+    OpKind.WORK: "W",
+    OpKind.READ: "R",
+    OpKind.WRITE: "S",
+    OpKind.TXN: "T",
+    OpKind.PERSIST: "P",
+}
+
+
+def format_op(op: Op) -> str:
+    """One trace line for ``op``."""
+    code = _KIND_CODES[op.kind]
+    if op.kind is OpKind.WORK:
+        return f"W {op.size}"
+    if op.kind in (OpKind.READ, OpKind.WRITE):
+        return f"{code} {op.addr:#x} {op.size}"
+    return code
+
+
+def parse_op(line: str, lineno: int = 0) -> Op:
+    """Parse one trace line (raises :class:`WorkloadError` with context)."""
+    parts = line.split()
+    try:
+        code = parts[0].upper()
+        if code == "W":
+            return work(int(parts[1]))
+        if code == "R":
+            return read(int(parts[1], 0), int(parts[2]))
+        if code == "S":
+            return write(int(parts[1], 0), int(parts[2]))
+        if code == "T":
+            return txn()
+        if code == "P":
+            return persist()
+    except (IndexError, ValueError) as exc:
+        raise WorkloadError(f"trace line {lineno}: malformed {line!r}: {exc}")
+    raise WorkloadError(f"trace line {lineno}: unknown op code {code!r}")
+
+
+def save_trace(ops: Iterable[Op], destination: Union[str, Path, IO[str]],
+               header: str = "") -> int:
+    """Write a trace; returns the number of ops written."""
+    own = isinstance(destination, (str, Path))
+    stream = open(destination, "w") if own else destination
+    count = 0
+    try:
+        if header:
+            for line in header.splitlines():
+                stream.write(f"# {line}\n")
+        for op in ops:
+            stream.write(format_op(op) + "\n")
+            count += 1
+    finally:
+        if own:
+            stream.close()
+    return count
+
+
+def load_trace(source: Union[str, Path, IO[str]]) -> Iterator[Op]:
+    """Lazily parse a trace file (constant memory for long traces)."""
+    own = isinstance(source, (str, Path))
+    stream = open(source) if own else source
+    try:
+        for lineno, line in enumerate(stream, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            yield parse_op(stripped, lineno)
+    finally:
+        if own:
+            stream.close()

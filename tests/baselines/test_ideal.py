@@ -1,0 +1,64 @@
+"""Unit tests for the ideal (no-consistency-cost) systems."""
+
+import pytest
+
+from repro.baselines.ideal import IdealController
+from repro.config import small_test_config
+from repro.mem.controller import DeviceKind, MemoryController
+from repro.sim.engine import Engine
+from repro.sim.request import Origin
+from repro.stats.collector import StatsCollector
+
+
+@pytest.fixture(params=[DeviceKind.DRAM, DeviceKind.NVM])
+def setup(request):
+    config = small_test_config()
+    engine = Engine()
+    stats = StatsCollector(config.block_bytes)
+    memctrl = MemoryController(engine, config, stats)
+    controller = IdealController(engine, config, memctrl, stats,
+                                 request.param)
+    controller.start()
+    return engine, controller, stats, request.param
+
+
+def test_write_read_round_trip(setup):
+    engine, controller, _stats, _device = setup
+    controller.write_block(0, Origin.CPU, data=b"i" * 64)
+    got = {}
+    controller.read_block(0, Origin.CPU, lambda r: got.update(d=r.data))
+    engine.run_until_idle()
+    assert got["d"] == b"i" * 64
+
+
+def test_no_checkpoint_traffic(setup):
+    engine, controller, stats, device = setup
+    for i in range(16):
+        controller.write_block(i * 64, Origin.CPU)
+    engine.run_until_idle()
+    assert stats.nvm_writes.get("checkpoint") == 0
+    assert stats.epochs_completed == 0
+    if device is DeviceKind.DRAM:
+        assert stats.nvm_writes.total() == 0
+    else:
+        assert stats.dram_writes.total() == 0
+
+
+def test_drain_without_hierarchy_is_immediate(setup):
+    _engine, controller, _stats, _device = setup
+    done = []
+    controller.drain(lambda: done.append(1))
+    assert done == [1]
+
+
+def test_crash_then_reads_rejected(setup):
+    engine, controller, _stats, device = setup
+    controller.write_block(0, Origin.CPU, data=b"x" * 64)
+    engine.run_until_idle()
+    controller.crash()
+    got = []
+    controller.read_block(0, Origin.CPU, lambda r: got.append(r))
+    engine.run_until_idle()
+    assert not got
+    if device is DeviceKind.NVM:
+        assert controller.visible_block_bytes(0) == b"x" * 64

@@ -1,0 +1,103 @@
+"""Unit tests for one cache level."""
+
+import pytest
+
+from repro.cache.cache import Cache
+from repro.config import CacheConfig
+
+
+@pytest.fixture
+def cache():
+    # 4 sets x 2 ways x 64B blocks = 512B.
+    return Cache("t", CacheConfig(512, 2, 64, 1))
+
+
+def addr_for(cache, set_index, tag):
+    return ((tag * cache._num_sets) + set_index) << 6
+
+
+def test_miss_then_hit(cache):
+    assert not cache.lookup(0)
+    cache.insert(0, dirty=False)
+    assert cache.lookup(0)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_eviction_is_lru(cache):
+    a = addr_for(cache, 0, 0)
+    b = addr_for(cache, 0, 1)
+    c = addr_for(cache, 0, 2)
+    cache.insert(a, False)
+    cache.insert(b, False)
+    cache.lookup(a)           # a becomes MRU
+    victim = cache.insert(c, False)
+    assert victim == (b, False)
+
+
+def test_dirty_victim_reported(cache):
+    a = addr_for(cache, 1, 0)
+    b = addr_for(cache, 1, 1)
+    c = addr_for(cache, 1, 2)
+    cache.insert(a, True)
+    cache.insert(b, False)
+    victim = cache.insert(c, False)
+    assert victim == (a, True)
+
+
+def test_reinsert_merges_dirty_bit(cache):
+    cache.insert(0, dirty=False)
+    cache.insert(0, dirty=True)
+    assert cache.dirty_block_count() == 1
+    cache.insert(0, dirty=False)    # must not clear dirtiness
+    assert cache.dirty_block_count() == 1
+
+
+def test_mark_dirty(cache):
+    cache.insert(0, dirty=False)
+    assert cache.dirty_block_count() == 0
+    cache.mark_dirty(0)
+    assert cache.dirty_block_count() == 1
+    cache.mark_dirty(0)             # idempotent
+    assert cache.dirty_block_count() == 1
+
+
+def test_mark_dirty_on_absent_block_is_noop(cache):
+    cache.mark_dirty(0)
+    assert cache.dirty_block_count() == 0
+
+
+def test_clean_dirty_blocks_keeps_residency(cache):
+    cache.insert(0, dirty=True)
+    cache.insert(addr_for(cache, 1, 0), dirty=True)
+    cleaned = cache.clean_dirty_blocks()
+    assert sorted(cleaned) == sorted([0, addr_for(cache, 1, 0)])
+    assert cache.dirty_block_count() == 0
+    assert cache.lookup(0)          # still resident (CLWB semantics)
+
+
+def test_invalidate(cache):
+    cache.insert(0, dirty=True)
+    assert cache.invalidate(0) is True   # was dirty
+    assert not cache.lookup(0)
+    assert cache.dirty_block_count() == 0
+    assert cache.invalidate(0) is False
+
+
+def test_invalidate_all(cache):
+    for i in range(8):
+        cache.insert(i * 64, dirty=True)
+    cache.invalidate_all()
+    assert cache.resident_blocks == 0
+    assert cache.dirty_block_count() == 0
+
+
+def test_dirty_counter_tracks_evictions(cache):
+    a = addr_for(cache, 0, 0)
+    b = addr_for(cache, 0, 1)
+    c = addr_for(cache, 0, 2)
+    cache.insert(a, True)
+    cache.insert(b, True)
+    assert cache.dirty_block_count() == 2
+    cache.insert(c, False)          # evicts dirty a
+    assert cache.dirty_block_count() == 1

@@ -1,0 +1,106 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Callable, Dict, Optional
+
+import pytest
+
+from repro.config import SystemConfig, small_test_config
+from repro.core.controller import ThyNVMController, ThyNVMPolicy
+from repro.mem.controller import MemoryController
+from repro.sim.engine import Engine
+from repro.sim.request import Origin
+from repro.stats.collector import StatsCollector
+
+BLOCK = 64
+MANUAL_EPOCHS = 10 ** 12   # epoch timer effectively disabled
+
+
+def pad(data: bytes, size: int = BLOCK) -> bytes:
+    """Pad a payload to one block."""
+    if len(data) > size:
+        raise ValueError("payload larger than a block")
+    return data.ljust(size, b"\0")
+
+
+def make_direct(config: Optional[SystemConfig] = None,
+                policy: Optional[ThyNVMPolicy] = None) -> SimpleNamespace:
+    """A ThyNVM controller driven directly (no CPU, no caches).
+
+    Epochs are ended manually via ``force_epoch_end``; the timer is
+    parked far in the future.
+    """
+    cfg = config if config is not None else small_test_config(
+        epoch_cycles=MANUAL_EPOCHS)
+    engine = Engine()
+    stats = StatsCollector(cfg.block_bytes)
+    memctrl = MemoryController(engine, cfg, stats)
+    controller = ThyNVMController(engine, cfg, memctrl, stats, policy)
+    controller.start()
+    return SimpleNamespace(engine=engine, config=cfg, stats=stats,
+                           memctrl=memctrl, ctl=controller)
+
+
+def run_until(engine: Engine, cond: Callable[[], bool],
+              limit: int = 500_000_000) -> None:
+    """Advance simulation until ``cond()`` holds (asserts progress)."""
+    start = engine.now
+    while not cond():
+        if engine.pending_events == 0:
+            break
+        engine.run(until=engine.now + 100_000)
+        if engine.now - start > limit:
+            break
+    assert cond(), "simulation did not reach the expected condition"
+
+
+def settle(engine: Engine, cycles: int = 5_000_000) -> None:
+    """Run the engine forward a bounded amount of simulated time."""
+    engine.run(until=engine.now + cycles)
+
+
+def write_block(system: SimpleNamespace, block: int, data: bytes,
+                origin: Origin = Origin.CPU) -> None:
+    """Issue one block write with a padded payload."""
+    system.ctl.write_block(block * system.config.block_bytes, origin,
+                           data=pad(data, system.config.block_bytes))
+
+
+def read_block(system: SimpleNamespace, block: int) -> bytes:
+    """Issue one block read and wait for its data."""
+    result: Dict[str, bytes] = {}
+    system.ctl.read_block(block * system.config.block_bytes, Origin.CPU,
+                          lambda req: result.update(data=req.data))
+    run_until(system.engine, lambda: "data" in result)
+    return result["data"]
+
+
+def end_epoch(system: SimpleNamespace, wait_commit: bool = True) -> int:
+    """End the active epoch; optionally wait for its commit.
+
+    Returns the epoch id that was ended.  Requires the pipeline to be
+    in its execution phase (waits for a previous commit if needed).
+    """
+    from repro.core.epoch import Phase
+
+    ctl, engine = system.ctl, system.engine
+    run_until(engine, lambda: ctl.epochs.phase is Phase.EXECUTING)
+    epoch = ctl.epochs.active_epoch
+    ctl.force_epoch_end("test")
+    if wait_commit:
+        run_until(engine, lambda: ctl.committed_meta.epoch >= epoch)
+    else:
+        run_until(engine, lambda: ctl.epochs.active_epoch > epoch)
+    return epoch
+
+
+@pytest.fixture
+def direct_system() -> SimpleNamespace:
+    return make_direct()
+
+
+@pytest.fixture
+def engine() -> Engine:
+    return Engine()

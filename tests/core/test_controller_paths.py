@@ -1,0 +1,157 @@
+"""Functional tests of the ThyNVM controller's read/write steering.
+
+Driven directly (no CPU/caches) against the small functional config;
+epochs are ended manually.  These tests pin down the Figure 6(a)
+control flow: where each store lands, what each load sees, and how
+versions flip at commits.
+"""
+
+from repro.core.epoch import Phase
+from repro.core.regions import REGION_A, REGION_B, other_region
+from repro.core.versions import ProtocolState, classify_block_state
+from repro.mem.controller import DeviceKind
+from repro.sim.request import Origin
+
+from ..conftest import (end_epoch, make_direct, pad, read_block, run_until,
+                        settle, write_block)
+
+
+def visible(system, block):
+    return system.ctl.visible_block_bytes(block)
+
+
+def nvm_at(system, addr):
+    return system.memctrl.functional_store(DeviceKind.NVM).read(addr)
+
+
+def test_first_write_goes_to_complement_of_home(direct_system):
+    s = direct_system
+    write_block(s, 5, b"v1")
+    settle(s.engine)
+    entry = s.ctl.btt.lookup(5)
+    assert entry is not None
+    assert entry.stable_region == REGION_B
+    assert entry.pending_epoch == s.ctl.epochs.active_epoch
+    # The working copy sits in region A; home still has the old value.
+    assert nvm_at(s, s.ctl.layout.region_block_addr(REGION_A, 5)) == pad(b"v1")
+    assert nvm_at(s, s.ctl.layout.home_block_addr(5)) == bytes(64)
+
+
+def test_read_sees_working_copy(direct_system):
+    s = direct_system
+    write_block(s, 7, b"new")
+    assert read_block(s, 7) == pad(b"new")
+
+
+def test_read_untracked_block_from_home(direct_system):
+    s = direct_system
+    assert read_block(s, 9) == bytes(64)
+
+
+def test_commit_flips_stable_region(direct_system):
+    s = direct_system
+    write_block(s, 3, b"epoch0")
+    end_epoch(s)
+    entry = s.ctl.btt.lookup(3)
+    assert entry.pending_epoch is None
+    assert entry.stable_region == REGION_A
+    assert visible(s, 3) == pad(b"epoch0")
+
+
+def test_writes_coalesce_within_epoch(direct_system):
+    s = direct_system
+    write_block(s, 3, b"a")
+    write_block(s, 3, b"b")
+    settle(s.engine)
+    assert visible(s, 3) == pad(b"b")
+    end_epoch(s)
+    assert visible(s, 3) == pad(b"b")
+
+
+def test_ping_pong_across_epochs(direct_system):
+    s = direct_system
+    write_block(s, 3, b"e0")
+    end_epoch(s)
+    write_block(s, 3, b"e1")
+    end_epoch(s)
+    entry = s.ctl.btt.lookup(3)
+    assert entry.stable_region == REGION_B
+    assert visible(s, 3) == pad(b"e1")
+    # Both region copies exist: A holds epoch 0's, B epoch 1's.
+    assert nvm_at(s, s.ctl.layout.region_block_addr(REGION_A, 3)) == pad(b"e0")
+    assert nvm_at(s, s.ctl.layout.region_block_addr(REGION_B, 3)) == pad(b"e1")
+
+
+def test_write_during_own_checkpoint_buffers_in_dram(direct_system):
+    s = direct_system
+    ctl, engine = s.ctl, s.engine
+    write_block(s, 3, b"e0")
+    # End the epoch but do NOT wait for the commit.
+    end_epoch(s, wait_commit=False)
+    assert ctl.epochs.ckpt_epoch == 0
+    # While block 3's own copy is being checkpointed, a new write to it
+    # must detour to a DRAM temp slot (Fig. 6(a) "still ckpting?").
+    write_block(s, 3, b"e1")
+    entry = ctl.btt.lookup(3)
+    assert ctl.epochs.active_epoch in entry.temp_epochs
+    state = classify_block_state(entry, ctl.epochs.active_epoch,
+                                 ctl.epochs.ckpt_epoch)
+    assert state in (ProtocolState.OVERLAPPED,
+                     ProtocolState.DRAM_TEMP)
+    settle(engine, 2_000)   # let the DRAM temp write service
+    assert visible(s, 3) == pad(b"e1")
+    run_until(engine, lambda: ctl.committed_meta.epoch >= 0)
+    # The committed checkpoint must hold epoch 0's value.
+    assert ctl.committed_meta.block_regions[3] == REGION_A
+
+
+def test_write_to_other_block_during_checkpoint_goes_direct(direct_system):
+    s = direct_system
+    ctl = s.ctl
+    write_block(s, 3, b"e0")
+    end_epoch(s, wait_commit=False)
+    # Block 8 is not part of the in-flight checkpoint: NVM-direct.
+    write_block(s, 8, b"direct")
+    entry = ctl.btt.lookup(8)
+    assert not entry.temp_epochs
+    assert entry.pending_epoch == ctl.epochs.active_epoch
+
+
+def test_temp_copy_checkpointed_next_epoch(direct_system):
+    s = direct_system
+    write_block(s, 3, b"e0")
+    end_epoch(s, wait_commit=False)
+    write_block(s, 3, b"e1")           # DRAM temp
+    run_until(s.engine, lambda: s.ctl.committed_meta.epoch >= 0)
+    end_epoch(s)                        # checkpoints the temp copy
+    entry = s.ctl.btt.lookup(3)
+    assert not entry.temp_epochs
+    assert entry.pending_epoch is None
+    assert visible(s, 3) == pad(b"e1")
+    assert s.ctl.committed_meta.block_regions[3] == REGION_B
+
+
+def test_flush_origin_writes_take_normal_path(direct_system):
+    s = direct_system
+    s.ctl.write_block(5 * 64, Origin.FLUSH, data=pad(b"flush"))
+    settle(s.engine)
+    assert visible(s, 5) == pad(b"flush")
+
+
+def test_metadata_bytes_in_use_tracks_entries(direct_system):
+    s = direct_system
+    base = s.ctl.metadata_bytes_in_use()
+    for block in range(10):
+        write_block(s, block, b"x")
+    settle(s.engine)
+    assert s.ctl.metadata_bytes_in_use() == base + 10 * s.ctl.btt.entry_bytes
+
+
+def test_epoch_phases_progress(direct_system):
+    s = direct_system
+    assert s.ctl.epochs.phase is Phase.EXECUTING
+    write_block(s, 1, b"x")
+    epoch = end_epoch(s)
+    assert epoch == 0
+    assert s.ctl.epochs.active_epoch == 1
+    assert s.stats.epochs_completed == 1

@@ -1,0 +1,98 @@
+"""Unit tests for the scheme coordinator's selection policies."""
+
+from repro.core.btt import BlockTranslationTable
+from repro.core.coordinator import SchemeCoordinator
+from repro.core.metadata import GcState, PageEntry
+from repro.core.ptt import PageTranslationTable
+from repro.core.regions import REGION_A, REGION_B
+
+
+def make_coordinator(**kwargs):
+    return SchemeCoordinator(promote_threshold=22, demote_threshold=16,
+                             **kwargs)
+
+
+def test_store_counting_and_rollover():
+    coordinator = make_coordinator()
+    for _ in range(5):
+        coordinator.note_store(3)
+    coordinator.note_store(4)
+    counts = coordinator.epoch_rollover()
+    assert counts == {3: 5, 4: 1}
+    assert coordinator.epoch_rollover() == {}
+
+
+def test_promotion_selection_hottest_first():
+    coordinator = make_coordinator()
+    ptt = PageTranslationTable(16, 6)
+    counts = {1: 30, 2: 25, 3: 10, 4: 50}
+    selected = coordinator.select_promotions(counts, ptt, slots_free=2)
+    assert selected == [4, 1]
+
+
+def test_promotion_skips_existing_and_respects_budget():
+    coordinator = make_coordinator()
+    coordinator.promote_per_commit = 1
+    ptt = PageTranslationTable(16, 6)
+    ptt.create(4, dram_slot=0, stable_region=REGION_B)
+    counts = {4: 50, 1: 30, 2: 40}
+    selected = coordinator.select_promotions(counts, ptt, slots_free=8)
+    assert selected == [2]
+
+
+def test_demotion_requires_consecutive_cold_epochs():
+    coordinator = make_coordinator(demote_hysteresis=3)
+    ptt = PageTranslationTable(16, 6)
+    entry = ptt.create(7, dram_slot=1, stable_region=REGION_B)
+    for round_index in range(2):
+        assert coordinator.select_demotions({}, ptt) == []
+    assert coordinator.select_demotions({}, ptt) == [entry]
+
+
+def test_hot_epoch_resets_cold_streak():
+    coordinator = make_coordinator(demote_hysteresis=2)
+    ptt = PageTranslationTable(16, 6)
+    entry = ptt.create(7, dram_slot=1, stable_region=REGION_B)
+    assert coordinator.select_demotions({}, ptt) == []
+    assert coordinator.select_demotions({7: 30}, ptt) == []   # hot again
+    assert coordinator.select_demotions({}, ptt) == []
+    assert coordinator.select_demotions({}, ptt) == [entry]
+
+
+def test_dirty_pages_not_demoted():
+    coordinator = make_coordinator(demote_hysteresis=1)
+    ptt = PageTranslationTable(16, 6)
+    entry = ptt.create(7, dram_slot=1, stable_region=REGION_B)
+    entry.dirty_active.add(0)
+    assert coordinator.select_demotions({}, ptt) == []
+
+
+def test_gc_selects_only_idle_entries():
+    coordinator = make_coordinator()
+    btt = BlockTranslationTable(64, 7)
+    idle = btt.create(1)
+    idle.last_write_epoch = 0
+    busy = btt.create(2)
+    busy.pending_epoch = 5
+    busy.last_write_epoch = 5
+    recent = btt.create(3)
+    recent.last_write_epoch = 4
+    selected = coordinator.select_gc(btt, committed_epoch=5)
+    assert selected == [idle]
+
+
+def test_gc_budget():
+    coordinator = make_coordinator(gc_per_commit=3)
+    btt = BlockTranslationTable(64, 7)
+    for block in range(10):
+        entry = btt.create(block)
+        entry.last_write_epoch = 0
+    assert len(coordinator.select_gc(btt, committed_epoch=9)) == 3
+
+
+def test_instant_removals_split_by_region():
+    from repro.core.metadata import BlockEntry
+    entries = [BlockEntry(block=0, stable_region=REGION_B),
+               BlockEntry(block=1, stable_region=REGION_A)]
+    instant = SchemeCoordinator.instant_removals(entries)
+    assert [e.block for e in instant] == [0]

@@ -1,0 +1,186 @@
+"""Crash-injection tests: the heart of the reproduction.
+
+The invariant (§3.1/§4.5): after a crash at *any* moment, recovery
+restores exactly the physical-memory image that existed at the end of
+the last committed epoch — ``C_last`` if its checkpoint's commit record
+reached NVM, else ``C_penult``.
+
+These tests drive the controller directly, track a golden snapshot per
+epoch boundary, crash at chosen (and random) points, and compare the
+recovered image block-for-block.
+"""
+
+import random
+
+from repro.core.epoch import Phase
+from repro.sim.request import Origin
+
+from ..conftest import (end_epoch, make_direct, pad, run_until, settle,
+                        write_block)
+
+BLOCKS = 48   # working set (well within the test BTT)
+
+
+def token(epoch, block):
+    return pad(f"e{epoch}b{block}".encode())
+
+
+def run_epochs(system, num_epochs, writes_per_epoch, seed=1,
+               hot_page=None):
+    """Execute epochs of random writes; returns golden snapshots."""
+    rng = random.Random(seed)
+    shadow = {}
+    goldens = {-1: {}}
+    for epoch in range(num_epochs):
+        for _ in range(writes_per_epoch):
+            block = rng.randrange(BLOCKS)
+            data = token(epoch, block)
+            write_block(system, block, data)
+            shadow[block] = data
+        if hot_page is not None:
+            first = hot_page * system.config.blocks_per_page
+            for offset in range(system.config.blocks_per_page):
+                data = token(epoch, first + offset)
+                write_block(system, first + offset, data)
+                shadow[first + offset] = data
+        run_until(system.engine,
+                  lambda: system.ctl.epochs.phase is Phase.EXECUTING)
+        assert not system.ctl._deferred_writes, \
+            "test working set must not overflow the tables"
+        system.ctl.force_epoch_end("test")
+        run_until(system.engine,
+                  lambda e=epoch: system.ctl.epochs.active_epoch > e)
+        goldens[epoch] = dict(shadow)
+    return goldens
+
+
+def assert_recovers_to_golden(system, goldens, max_block=None):
+    system.ctl.crash()
+    recovered = system.ctl.recover()
+    assert recovered.epoch in goldens, \
+        f"recovered epoch {recovered.epoch} has no golden snapshot"
+    golden = goldens[recovered.epoch]
+    limit = max_block if max_block is not None else BLOCKS
+    for block in range(limit):
+        expected = golden.get(block, bytes(64))
+        actual = recovered.visible_block(block)
+        assert actual == expected, (
+            f"block {block}: recovered {actual[:12]!r} != "
+            f"expected {expected[:12]!r} (epoch {recovered.epoch})")
+    return recovered
+
+
+def test_crash_before_any_checkpoint(direct_system):
+    s = direct_system
+    write_block(s, 0, b"lost")
+    settle(s.engine, 1000)
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    assert recovered.epoch == -1
+    assert recovered.visible_block(0) == bytes(64)
+
+
+def test_crash_after_commit_recovers_that_epoch(direct_system):
+    s = direct_system
+    goldens = run_epochs(s, num_epochs=1, writes_per_epoch=20)
+    run_until(s.engine, lambda: s.ctl.committed_meta.epoch >= 0)
+    recovered = assert_recovers_to_golden(s, goldens)
+    assert recovered.epoch == 0
+
+
+def test_crash_mid_checkpoint_recovers_previous_epoch(direct_system):
+    s = direct_system
+    goldens = run_epochs(s, num_epochs=2, writes_per_epoch=20)
+    # Epoch 1's checkpoint may be in flight; crash right now.
+    recovered = assert_recovers_to_golden(s, goldens)
+    assert recovered.epoch in (0, 1)
+
+
+def test_crash_during_next_epoch_execution(direct_system):
+    s = direct_system
+    goldens = run_epochs(s, num_epochs=2, writes_per_epoch=20)
+    run_until(s.engine, lambda: s.ctl.committed_meta.epoch >= 1)
+    # Uncommitted epoch-2 writes must be rolled back.
+    write_block(s, 0, b"uncommitted")
+    settle(s.engine, 500)
+    recovered = assert_recovers_to_golden(s, goldens)
+    assert recovered.epoch == 1
+
+
+def test_crash_with_page_scheme_active(direct_system):
+    s = direct_system
+    goldens = run_epochs(s, num_epochs=4, writes_per_epoch=10, hot_page=0)
+    run_until(s.engine, lambda: s.ctl.committed_meta.epoch >= 3)
+    assert 0 in s.ctl.ptt, "hot page should have been promoted"
+    recovered = assert_recovers_to_golden(
+        s, goldens, max_block=s.config.blocks_per_page * 2)
+    assert recovered.epoch == 3
+
+
+def test_crash_at_many_random_points():
+    """Sweep crash times across a multi-epoch run (deterministic)."""
+    for crash_step in range(0, 20, 3):
+        s = make_direct()
+        rng = random.Random(99)
+        shadow = {}
+        goldens = {-1: {}}
+        epoch = 0
+        steps = 0
+        crashed = False
+        while epoch < 4 and not crashed:
+            for _ in range(12):
+                block = rng.randrange(BLOCKS)
+                data = token(epoch, block)
+                write_block(s, block, data)
+                shadow[block] = data
+                steps += 1
+                if steps == crash_step:
+                    settle(s.engine, rng.randrange(1, 200_000))
+                    crashed = True
+                    break
+            if crashed:
+                break
+            run_until(s.engine,
+                      lambda: s.ctl.epochs.phase is Phase.EXECUTING)
+            s.ctl.force_epoch_end("test")
+            run_until(s.engine,
+                      lambda e=epoch: s.ctl.epochs.active_epoch > e)
+            goldens[epoch] = dict(shadow)
+            epoch += 1
+        assert_recovers_to_golden(s, goldens)
+
+
+def test_recovery_restores_pages_into_dram(direct_system):
+    s = direct_system
+    run_epochs(s, num_epochs=3, writes_per_epoch=5, hot_page=1)
+    run_until(s.engine, lambda: s.ctl.committed_meta.epoch >= 2)
+    assert 1 in s.ctl.ptt
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    # The recovered working region holds the page's checkpoint copy.
+    meta = recovered.meta
+    assert 1 in meta.page_regions
+    first = s.config.blocks_per_page
+    assert recovered.visible_block(first) == token(2, first)
+
+
+def test_cpu_state_recovered_with_memory(direct_system):
+    s = direct_system
+    run_epochs(s, num_epochs=2, writes_per_epoch=8)
+    run_until(s.engine, lambda: s.ctl.committed_meta.epoch >= 1)
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    assert recovered.cpu_state is not None
+
+
+def test_double_crash_recovery_is_stable(direct_system):
+    s = direct_system
+    goldens = run_epochs(s, num_epochs=2, writes_per_epoch=10)
+    run_until(s.engine, lambda: s.ctl.committed_meta.epoch >= 1)
+    s.ctl.crash()
+    first = s.ctl.recover()
+    second = s.ctl.recover()   # recovery is idempotent
+    for block in range(BLOCKS):
+        assert first.visible_block(block) == second.visible_block(block)
+    assert first.epoch == second.epoch == 1
+    assert goldens[1] is not None

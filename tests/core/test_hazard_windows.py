@@ -1,0 +1,134 @@
+"""Directed tests for the protocol's trickiest hazard windows.
+
+Each test here encodes one of the crash-safety arguments from
+docs/PROTOCOL.md §6 as a regression test: GC consolidation racing a
+rewrite, mid-epoch eviction shadows, promotion absorption, and
+checkpoint-vs-demand same-slot ordering.
+"""
+
+from repro.config import small_test_config
+from repro.core.metadata import GcState
+from repro.core.regions import REGION_A, REGION_B
+
+from ..conftest import (MANUAL_EPOCHS, end_epoch, make_direct, pad,
+                        read_block, run_until, settle, write_block)
+
+
+def small_btt_system(btt_entries=32):
+    return make_direct(small_test_config(epoch_cycles=MANUAL_EPOCHS,
+                                         btt_entries=btt_entries))
+
+
+def force_gc_consolidation(system, victim_block):
+    """Write enough blocks (plus the victim) to push the BTT past its
+    GC pressure threshold, then idle the victim until GC selects it."""
+    write_block(system, victim_block, b"victim-data")
+    end_epoch(system)                       # victim stable in region A
+    entry = system.ctl.btt.lookup(victim_block)
+    assert entry.stable_region == REGION_A
+    # Table pressure: 3/4 of capacity occupied.
+    filler = range(100, 100 + (3 * system.ctl.btt.capacity) // 4)
+    for round_index in range(3):            # victim idle >= 2 epochs
+        for block in filler:
+            write_block(system, block, bytes([round_index + 1]))
+        end_epoch(system)
+        entry = system.ctl.btt.lookup(victim_block)
+        if entry is None or entry.gc_state is GcState.ISSUED:
+            return entry
+    return system.ctl.btt.lookup(victim_block)
+
+
+def test_gc_consolidation_then_rewrite_is_crash_safe():
+    s = small_btt_system()
+    entry = force_gc_consolidation(s, victim_block=5)
+    if entry is not None and entry.gc_state is GcState.ISSUED:
+        # The hazard: rewrite the block while its consolidation copy to
+        # home (region B) is still in flight.  The new write also
+        # targets B; same-address FIFO must keep the new data last.
+        write_block(s, 5, b"rewritten!!")
+        assert entry.gc_state is GcState.NONE, "rewrite must cancel GC"
+        end_epoch(s)
+    else:
+        # GC already dropped it; rewrite goes through a fresh entry.
+        write_block(s, 5, b"rewritten!!")
+        end_epoch(s)
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    assert recovered.visible_block(5) == pad(b"rewritten!!")
+
+
+def test_gc_dropped_block_reads_from_home():
+    s = small_btt_system()
+    force_gc_consolidation(s, victim_block=5)
+    # A few more epochs to let the drop land.
+    for _ in range(3):
+        write_block(s, 200, b"churn")
+        end_epoch(s)
+    assert read_block(s, 5) == pad(b"victim-data")
+    s.ctl.crash()
+    assert s.ctl.recover().visible_block(5) == pad(b"victim-data")
+
+
+def test_emergency_eviction_shadow_protects_region_a():
+    """Fill a tiny BTT so mid-epoch eviction (with consolidation) runs;
+    crash immediately after re-writing an evicted block."""
+    s = small_btt_system(btt_entries=16)
+    # Two epochs of writes so evictable entries have stable == A.
+    for block in range(12):
+        write_block(s, block, bytes([block + 1]))
+    end_epoch(s)
+    # Now flood with fresh blocks: evictions must kick in mid-epoch.
+    for block in range(50, 80):
+        write_block(s, block, bytes([block % 251]))
+        settle(s.engine, 20_000)
+    run_until(s.engine, lambda: not s.ctl._deferred_writes)
+    # Rewrite one original block (may have been evicted+shadowed).
+    write_block(s, 3, b"fresh")
+    settle(s.engine, 50_000)
+    s.ctl.validate()
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    # Pre-crash committed value of block 3 must survive regardless of
+    # the eviction/shadow interleaving (the rewrite was uncommitted).
+    assert recovered.visible_block(3) == pad(bytes([4]))
+
+
+def test_promotion_absorption_keeps_old_entries_until_durable():
+    s = make_direct()
+    first = 2 * s.config.blocks_per_page
+    # Blocks gain BTT entries (and an NVM checkpoint in region A)...
+    for offset in range(s.config.blocks_per_page):
+        write_block(s, first + offset, bytes([offset + 1]))
+    end_epoch(s)
+    # ...then the page goes hot again and is promoted at the commit.
+    for offset in range(s.config.blocks_per_page):
+        write_block(s, first + offset, bytes([offset + 101]))
+    end_epoch(s)
+    assert 2 in s.ctl.ptt
+    # Crash before the NEXT commit: the PTT entry is not yet in the
+    # durable metadata, so recovery must fall back to the BTT entries.
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    for offset in range(4):
+        assert recovered.visible_block(first + offset) == \
+            pad(bytes([offset + 101]))
+
+
+def test_checkpoint_copy_sees_newest_flush_data():
+    """A page checkpoint's DRAM reads must observe flush writes that
+    are still queued (read-after-write forwarding end to end)."""
+    s = make_direct()
+    first = 2 * s.config.blocks_per_page
+    for offset in range(s.config.blocks_per_page):
+        write_block(s, first + offset, bytes([offset + 1]))
+    end_epoch(s)                 # page promoted
+    # Dirty the page and end the epoch immediately: the checkpoint's
+    # page copy races the still-queued DRAM writes.
+    for offset in range(s.config.blocks_per_page):
+        write_block(s, first + offset, bytes([offset + 201 if offset < 55
+                                              else offset]))
+    end_epoch(s)
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    assert recovered.visible_block(first) == pad(bytes([201]))
+    assert recovered.visible_block(first + 5) == pad(bytes([206]))

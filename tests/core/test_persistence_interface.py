@@ -1,0 +1,75 @@
+"""Tests for the §6 explicit-persistence interface (PERSIST barrier)."""
+
+from repro.config import small_test_config
+from repro.cpu.trace import TraceBuilder
+from repro.harness.runner import run_workload
+from repro.harness.systems import build_system
+from repro.sim.request import Origin
+
+from ..conftest import make_direct, pad, run_until, settle
+
+
+def test_persist_barrier_direct_drive():
+    s = make_direct()
+    s.ctl.write_block(0, Origin.CPU, data=pad(b"durable"))
+    fired = []
+    s.ctl.persist_barrier(lambda: fired.append(s.engine.now))
+    run_until(s.engine, lambda: bool(fired))
+    # The barrier implies a committed checkpoint covering the write.
+    assert s.ctl.committed_meta.epoch >= 0
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    assert recovered.visible_block(0) == pad(b"durable")
+
+
+def test_persist_barrier_waits_for_commit_not_just_epoch_end():
+    s = make_direct()
+    s.ctl.write_block(0, Origin.CPU, data=pad(b"x"))
+    fired = []
+    s.ctl.persist_barrier(lambda: fired.append(True))
+    # Immediately after requesting, the barrier must not have fired.
+    assert not fired
+    run_until(s.engine, lambda: bool(fired))
+    assert s.ctl.committed_meta.epoch >= 0
+
+
+def test_persist_op_in_cpu_trace():
+    config = small_test_config(epoch_cycles=10 ** 10)  # only persists end epochs
+    trace = (TraceBuilder()
+             .write(0, 64).txn().persist()
+             .write(64, 64).txn().persist()
+             .build())
+    result = run_workload("thynvm", trace, config)
+    # Each persist forces (at least) one epoch; drain adds more.
+    assert result.stats.epochs_completed >= 2
+    assert result.stats.transactions == 2
+
+
+def test_persist_makes_data_crash_safe_end_to_end():
+    config = small_test_config(epoch_cycles=10 ** 10)
+    system = build_system("thynvm", config)
+    trace = (TraceBuilder().write(128, 64).persist().build())
+    finished = []
+    system.memsys.start()
+    system.core.run_trace(iter(trace), lambda: finished.append(1))
+    run_until(system.engine, lambda: bool(finished))
+    system.memsys.stop()   # park the epoch timer chain
+    assert finished, "persist barrier never released the core"
+    system.memsys.crash()
+    recovered = system.memsys.recover()
+    assert recovered.epoch >= 0
+
+
+def test_persist_on_ideal_system_is_free():
+    config = small_test_config()
+    trace = (TraceBuilder().write(0, 64).persist().write(64, 64).build())
+    result = run_workload("ideal_dram", trace, config)
+    assert result.stats.epochs_completed == 0
+
+
+def test_persist_on_stop_the_world_baselines():
+    config = small_test_config(epoch_cycles=10 ** 10)
+    for name in ("journal", "shadow"):
+        trace = (TraceBuilder().write(0, 64).persist().build())
+        result = run_workload(name, trace, config)
+        assert result.stats.epochs_completed >= 1, name

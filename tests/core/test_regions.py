@@ -1,0 +1,102 @@
+"""Unit tests for the hardware address-space layout."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.core.regions import (REGION_A, REGION_B, HardwareLayout,
+                                other_region)
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def layout():
+    return HardwareLayout(small_test_config())
+
+
+def test_other_region():
+    assert other_region(REGION_A) == REGION_B
+    assert other_region(REGION_B) == REGION_A
+
+
+def test_home_is_region_b(layout):
+    for block in (0, 1, 100):
+        assert layout.home_block_addr(block) == layout.region_block_addr(
+            REGION_B, block)
+
+
+def test_regions_do_not_overlap(layout):
+    cfg = layout.config
+    last_b = layout.region_block_addr(REGION_B, cfg.physical_blocks - 1)
+    first_a = layout.region_block_addr(REGION_A, 0)
+    assert last_b + cfg.block_bytes <= first_a
+    last_a = layout.region_block_addr(REGION_A, cfg.physical_blocks - 1)
+    assert last_a + cfg.block_bytes <= layout.backup_base
+
+
+def test_backup_subregions_do_not_overlap(layout):
+    assert layout.btt_backup_offset >= layout.config.cpu_state_bytes
+    btt_end = (layout.btt_backup_offset
+               + layout.btt_backup_blocks * layout.config.block_bytes)
+    assert layout.ptt_backup_offset >= btt_end
+    ptt_end = (layout.ptt_backup_offset
+               + layout.ptt_backup_blocks * layout.config.block_bytes)
+    assert layout.commit_record_addr >= layout.backup_base + ptt_end
+
+
+def test_page_addresses_consistent_with_blocks(layout):
+    cfg = layout.config
+    page = 3
+    page_addr = layout.region_page_addr(REGION_A, page)
+    first_block = page * cfg.blocks_per_page
+    assert page_addr == layout.region_block_addr(REGION_A, first_block)
+
+
+def test_temp_slots_differ_by_parity(layout):
+    a = layout.temp_block_addr(5, epoch=0)
+    b = layout.temp_block_addr(5, epoch=1)
+    c = layout.temp_block_addr(5, epoch=2)
+    assert a != b
+    assert a == c   # parity wraps
+
+
+def test_temp_slots_unique_per_block(layout):
+    seen = set()
+    for block in range(64):
+        for epoch in (0, 1):
+            addr = layout.temp_block_addr(block, epoch)
+            assert addr not in seen
+            assert addr >= layout.temp_base
+            seen.add(addr)
+
+
+def test_slot_allocation_and_release(layout):
+    total = layout.slots_total
+    slots = [layout.allocate_slot() for _ in range(total)]
+    assert None not in slots
+    assert len(set(slots)) == total
+    assert layout.allocate_slot() is None
+    layout.release_slot(slots[0])
+    assert layout.allocate_slot() == slots[0]
+
+
+def test_slot_addresses_within_working_region(layout):
+    cfg = layout.config
+    slot = layout.allocate_slot()
+    addr = layout.page_slot_addr(slot)
+    assert 0 <= addr < cfg.dram_bytes
+    assert layout.slot_block_addr(slot, 0) == addr
+    assert (layout.slot_block_addr(slot, cfg.blocks_per_page - 1)
+            == addr + cfg.page_bytes - cfg.block_bytes)
+
+
+def test_invalid_slot_rejected(layout):
+    with pytest.raises(SimulationError):
+        layout.page_slot_addr(layout.slots_total)
+    with pytest.raises(SimulationError):
+        layout.release_slot(-1)
+
+
+def test_backup_addr_bounds(layout):
+    layout.backup_addr(0)
+    with pytest.raises(SimulationError):
+        layout.backup_addr(layout.backup_bytes)

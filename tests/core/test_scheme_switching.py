@@ -1,0 +1,131 @@
+"""Functional tests of promotion, demotion, cooperation and GC (§3.4)."""
+
+from repro.config import small_test_config
+from repro.core.regions import REGION_A, REGION_B
+from repro.mem.controller import DeviceKind
+
+from ..conftest import (MANUAL_EPOCHS, end_epoch, make_direct, pad,
+                        read_block, run_until, settle, write_block)
+
+
+def hot_page_writes(system, page, value_tag=b"h"):
+    """Write every block of a page (well past the promote threshold)."""
+    cfg = system.config
+    first = page * cfg.blocks_per_page
+    for offset in range(cfg.blocks_per_page):
+        write_block(system, first + offset,
+                    value_tag + bytes([offset]))
+    settle(system.engine)
+
+
+def test_hot_page_promoted_at_commit(direct_system):
+    s = direct_system
+    hot_page_writes(s, page=2)
+    assert 2 not in s.ctl.ptt
+    end_epoch(s)
+    assert 2 in s.ctl.ptt
+    assert s.stats.pages_promoted == 1
+    # Data visible through the DRAM page.
+    first = 2 * s.config.blocks_per_page
+    assert s.ctl.visible_block_bytes(first + 5) == pad(b"h" + bytes([5]))
+
+
+def test_promoted_page_writes_go_to_dram(direct_system):
+    s = direct_system
+    hot_page_writes(s, page=2)
+    end_epoch(s)
+    pe = s.ctl.ptt.lookup(2)
+    first = 2 * s.config.blocks_per_page
+    write_block(s, first + 1, b"dram!")
+    settle(s.engine)
+    assert 1 in pe.dirty_active
+    slot_addr = s.ctl.layout.slot_block_addr(pe.dram_slot, 1)
+    dram = s.memctrl.functional_store(DeviceKind.DRAM)
+    assert dram.read(slot_addr) == pad(b"dram!")
+
+
+def test_page_checkpoint_writes_full_page(direct_system):
+    s = direct_system
+    hot_page_writes(s, page=2)
+    end_epoch(s)
+    first = 2 * s.config.blocks_per_page
+    write_block(s, first, b"e1")
+    before = s.stats.nvm_writes.get("checkpoint")
+    end_epoch(s)
+    delta = s.stats.nvm_writes.get("checkpoint") - before
+    # Full-page writeback: at least blocks_per_page checkpoint writes.
+    assert delta >= s.config.blocks_per_page
+    pe = s.ctl.ptt.lookup(2)
+    assert pe.stable_region == REGION_A
+    assert not pe.is_dirty
+
+
+def test_cooperation_absorbs_writes_during_page_checkpoint(direct_system):
+    s = direct_system
+    hot_page_writes(s, page=2)
+    end_epoch(s)
+    first = 2 * s.config.blocks_per_page
+    write_block(s, first + 3, b"dirty")
+    settle(s.engine)
+    end_epoch(s, wait_commit=False)          # page ckpt in flight
+    pe = s.ctl.ptt.lookup(2)
+    assert pe.ckpt_in_progress
+    write_block(s, first + 3, b"coop!")      # must detour via the BTT
+    entry = s.ctl.btt.lookup(first + 3)
+    assert entry is not None and entry.coop_page == 2
+    settle(s.engine, 2_000)   # let the DRAM temp write service
+    assert s.ctl.visible_block_bytes(first + 3) == pad(b"coop!")
+    run_until(s.engine,
+              lambda: s.ctl.committed_meta.epoch >= 1)
+    # Merged back into the page at commit; BTT entry gone.
+    assert s.ctl.btt.lookup(first + 3) is None
+    assert s.ctl.visible_block_bytes(first + 3) == pad(b"coop!")
+    assert 3 in pe.dirty_active
+
+
+def test_cold_page_demoted_after_hysteresis(direct_system):
+    s = direct_system
+    hot_page_writes(s, page=2)
+    end_epoch(s)
+    assert 2 in s.ctl.ptt
+    # Several idle epochs: cold hysteresis then demotion + drop.
+    for _ in range(8):
+        write_block(s, 0, b"keepalive")   # other page traffic
+        end_epoch(s)
+    assert 2 not in s.ctl.ptt
+    assert s.stats.pages_demoted >= 1
+    # Data still visible (from NVM) after demotion.
+    first = 2 * s.config.blocks_per_page
+    assert s.ctl.visible_block_bytes(first + 5) == pad(b"h" + bytes([5]))
+
+
+def test_gc_consolidates_idle_blocks_to_home():
+    # Small BTT so the pressure threshold is reached quickly.
+    cfg = small_test_config(epoch_cycles=MANUAL_EPOCHS, btt_entries=32)
+    s = make_direct(cfg)
+    for block in range(24):
+        write_block(s, block, bytes([block]))
+    end_epoch(s)
+    # Entries now stable in region A.  Make them idle for several
+    # epochs; GC (under pressure) consolidates them home and frees.
+    for i in range(6):
+        write_block(s, 100 + i, b"other")
+        end_epoch(s)
+    assert len(s.ctl.btt) < 24 + 6
+    # Consolidated data must be readable from home.
+    for block in range(24):
+        assert s.ctl.visible_block_bytes(block) == pad(bytes([block]))
+
+
+def test_btt_overflow_forces_epoch_end():
+    cfg = small_test_config(epoch_cycles=MANUAL_EPOCHS, btt_entries=16)
+    s = make_direct(cfg)
+    for block in range(40):
+        write_block(s, block, bytes([block]))
+        settle(s.engine, 50_000)
+    run_until(s.engine, lambda: s.stats.epochs_completed >= 1)
+    assert s.stats.epochs_forced_by_overflow >= 1
+    # Everything remains visible despite the churn.
+    settle(s.engine)
+    for block in range(40):
+        assert s.ctl.visible_block_bytes(block) == pad(bytes([block]))

@@ -1,0 +1,59 @@
+"""Tests for the controller's invariant validator."""
+
+import pytest
+
+from repro.core.metadata import BlockEntry
+from repro.core.regions import REGION_B
+from repro.errors import ProtocolError
+
+from ..conftest import end_epoch, make_direct, settle, write_block
+
+
+def test_validate_passes_through_normal_operation(direct_system):
+    s = direct_system
+    s.ctl.validate()
+    for block in range(10):
+        write_block(s, block, bytes([block]))
+    s.ctl.validate()
+    end_epoch(s, wait_commit=False)
+    s.ctl.validate()
+    end_epoch(s)
+    s.ctl.validate()
+
+
+def test_validate_catches_orphan_temp_index(direct_system):
+    s = direct_system
+    s.ctl._temp_by_epoch[s.ctl.epochs.active_epoch] = {42}
+    with pytest.raises(ProtocolError):
+        s.ctl.validate()
+
+
+def test_validate_catches_untracked_temp_entry(direct_system):
+    s = direct_system
+    entry = s.ctl.btt.create(7)
+    entry.temp_epochs.add(s.ctl.epochs.active_epoch)   # not in the index
+    with pytest.raises(ProtocolError):
+        s.ctl.validate()
+
+
+def test_validate_catches_slot_sharing(direct_system):
+    s = direct_system
+    s.ctl.ptt.create(1, dram_slot=3, stable_region=REGION_B)
+    s.ctl.ptt.create(2, dram_slot=3, stable_region=REGION_B)
+    with pytest.raises(ProtocolError):
+        s.ctl.validate()
+
+
+def test_validate_catches_coop_for_untracked_page(direct_system):
+    s = direct_system
+    entry = s.ctl.btt.create(9)
+    entry.coop_page = 5
+    with pytest.raises(ProtocolError):
+        s.ctl.validate()
+
+
+def test_validate_catches_dirty_index_for_untracked_page(direct_system):
+    s = direct_system
+    s.ctl._dirty_pages.add(12)
+    with pytest.raises(ProtocolError):
+        s.ctl.validate()

@@ -1,0 +1,77 @@
+"""Unit tests for the protocol state machine."""
+
+import pytest
+
+from repro.core.metadata import BlockEntry
+from repro.core.versions import (ALLOWED_TRANSITIONS, ProtocolState,
+                                 classify_block_state, validate_transition)
+from repro.core.regions import REGION_B
+from repro.errors import ProtocolError
+
+
+def entry(**kwargs):
+    return BlockEntry(block=0, stable_region=REGION_B, **kwargs)
+
+
+def test_untracked_is_home():
+    assert classify_block_state(None, 5, None) is ProtocolState.HOME
+
+
+def test_tracked_idle_is_clean():
+    assert classify_block_state(entry(), 5, None) is ProtocolState.CLEAN
+
+
+def test_pending_in_active_epoch_is_nvm_working():
+    e = entry(pending_epoch=5)
+    assert classify_block_state(e, 5, None) is ProtocolState.NVM_WORKING
+
+
+def test_pending_under_checkpoint():
+    e = entry(pending_epoch=4)
+    assert classify_block_state(e, 5, 4) is ProtocolState.NVM_CHECKPOINTING
+
+
+def test_temp_in_active_epoch():
+    e = entry(temp_epochs={5})
+    assert classify_block_state(e, 5, 4) is ProtocolState.DRAM_TEMP
+
+
+def test_temp_under_checkpoint():
+    e = entry(temp_epochs={4})
+    assert classify_block_state(e, 5, 4) is ProtocolState.DRAM_CHECKPOINTING
+
+
+def test_overlapped():
+    e = entry(temp_epochs={4, 5})
+    assert classify_block_state(e, 5, 4) is ProtocolState.OVERLAPPED
+    e2 = entry(pending_epoch=4, temp_epochs={5})
+    assert classify_block_state(e2, 5, 4) is ProtocolState.OVERLAPPED
+
+
+def test_stale_working_copy_rejected():
+    e = entry(pending_epoch=2)
+    with pytest.raises(ProtocolError):
+        classify_block_state(e, 5, None)
+
+
+def test_validate_self_loop_allowed():
+    validate_transition(ProtocolState.CLEAN, ProtocolState.CLEAN)
+
+
+def test_validate_legal_transition():
+    validate_transition(ProtocolState.HOME, ProtocolState.NVM_WORKING)
+    validate_transition(ProtocolState.NVM_CHECKPOINTING, ProtocolState.CLEAN)
+
+
+def test_validate_illegal_transition():
+    with pytest.raises(ProtocolError):
+        validate_transition(ProtocolState.CLEAN, ProtocolState.OVERLAPPED)
+    with pytest.raises(ProtocolError):
+        validate_transition(ProtocolState.HOME, ProtocolState.CLEAN)
+
+
+def test_transition_table_covers_all_states():
+    for state in ProtocolState:
+        assert (state in ALLOWED_TRANSITIONS
+                or any(state in targets
+                       for targets in ALLOWED_TRANSITIONS.values()))

@@ -1,0 +1,80 @@
+"""Tests for multi-core execution (ExecutionCluster)."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.cpu.trace import TraceBuilder
+from repro.harness.runner import execute
+from repro.harness.systems import build_system
+from repro.workloads.micro import random_trace, streaming_trace
+
+
+def small_traces(n, ops=400, seed0=0):
+    return [random_trace(64 * 1024, ops, seed=seed0 + i) for i in range(n)]
+
+
+def test_multicore_system_builds_shared_l3():
+    config = small_test_config(num_cores=4)
+    system = build_system("thynvm", config)
+    assert len(system.cores) == 4
+    assert system.cluster is not None
+    l3s = {id(h.l3) for h in system.cluster.hierarchies}
+    assert len(l3s) == 1, "L3 must be shared"
+    l1s = {id(h.l1) for h in system.cluster.hierarchies}
+    assert len(l1s) == 4, "L1s must be private"
+
+
+def test_all_cores_execute_their_traces():
+    config = small_test_config(num_cores=3, epoch_cycles=50_000)
+    system = build_system("thynvm", config)
+    result = execute(system, None, traces=small_traces(3))
+    # 400 ops x (8 work + 1 mem) x 3 cores.
+    assert result.stats.instructions == 3 * 400 * 9
+    assert result.stats.epochs_completed >= 1
+
+
+def test_epoch_boundary_quiesces_every_core():
+    config = small_test_config(num_cores=2, epoch_cycles=40_000)
+    system = build_system("thynvm", config)
+    result = execute(system, None, traces=small_traces(2))
+    assert result.finished
+    # Both cores accumulated flush-stall cycles (they were frozen at
+    # boundaries together).
+    assert result.stats.stall_cycles.get("flush") > 0
+
+
+def test_multicore_crash_recovery_is_consistent():
+    config = small_test_config(num_cores=2, epoch_cycles=40_000)
+    system = build_system("thynvm", config)
+    system.memsys.start()
+    for core, trace in zip(system.cores, small_traces(2, ops=1500)):
+        core.run_trace(iter(trace), lambda: None)
+    system.engine.run(until=400_000)
+    system.memsys.crash()
+    recovered = system.memsys.recover()
+    assert recovered.epoch >= 0
+
+
+def test_fewer_traces_than_cores_is_allowed():
+    config = small_test_config(num_cores=4)
+    system = build_system("ideal_dram", config)
+    result = execute(system, None, traces=small_traces(2))
+    assert result.finished
+
+
+def test_multicore_throughput_scales():
+    """4 cores finish 4x the work in (much) less than 4x the time."""
+    config1 = small_test_config(num_cores=1, epoch_cycles=100_000)
+    system1 = build_system("thynvm", config1)
+    t1 = execute(system1, streaming_trace(64 * 1024, 800)).cycles
+
+    config4 = small_test_config(num_cores=4, epoch_cycles=100_000)
+    system4 = build_system("thynvm", config4)
+    traces = [streaming_trace(64 * 1024, 800, seed=i) for i in range(4)]
+    t4 = execute(system4, None, traces=traces).cycles
+    assert t4 < 3 * t1
+
+
+def test_num_cores_validation():
+    with pytest.raises(Exception):
+        small_test_config(num_cores=0)

@@ -1,0 +1,41 @@
+"""Unit tests for the trace format."""
+
+import pytest
+
+from repro.cpu.trace import OpKind, TraceBuilder, read, txn, work, write
+from repro.errors import WorkloadError
+
+
+def test_op_constructors():
+    assert work(5).kind is OpKind.WORK
+    assert work(5).size == 5
+    assert read(0x40, 8) == (OpKind.READ, 0x40, 8)
+    assert write(0x80, 64).kind is OpKind.WRITE
+    assert txn().kind is OpKind.TXN
+
+
+def test_invalid_ops_rejected():
+    with pytest.raises(WorkloadError):
+        work(0)
+    with pytest.raises(WorkloadError):
+        read(0, 0)
+    with pytest.raises(WorkloadError):
+        write(0, -1)
+
+
+def test_builder_round_trip():
+    trace = (TraceBuilder()
+             .work(3)
+             .write(0, 64)
+             .read(0, 64)
+             .txn()
+             .build())
+    assert [op.kind for op in trace] == [
+        OpKind.WORK, OpKind.WRITE, OpKind.READ, OpKind.TXN]
+
+
+def test_builder_extend_and_len():
+    builder = TraceBuilder().work(1)
+    builder.extend([read(0), write(8)])
+    assert len(builder) == 3
+    assert list(builder)[1].kind is OpKind.READ

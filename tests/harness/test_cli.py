@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+def test_run_json_output(capsys):
+    assert main(["run", "--system", "ideal_dram", "--workload", "random",
+                 "--ops", "200", "--footprint", "65536", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["instructions"] > 0
+    assert "nvm_write_breakdown" in payload
+
+
+def test_run_table_output(capsys):
+    assert main(["run", "--system", "thynvm", "--workload", "streaming",
+                 "--ops", "200", "--footprint", "65536"]) == 0
+    out = capsys.readouterr().out
+    assert "thynvm / streaming" in out
+    assert "cycles" in out
+
+
+def test_run_kv_workload(capsys):
+    assert main(["run", "--system", "journal", "--workload", "kv-hash",
+                 "--ops", "60", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["transactions"] == 60
+
+
+def test_run_spec_workload(capsys):
+    assert main(["run", "--system", "ideal_nvm", "--workload", "spec:lbm",
+                 "--ops", "300", "--json"]) == 0
+    assert json.loads(capsys.readouterr().out)["instructions"] > 300
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "bogus", "--ops", "10"])
+
+
+def test_unknown_spec_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "spec:nope", "--ops", "10"])
+
+
+def test_trace_record_and_replay(tmp_path, capsys):
+    path = tmp_path / "cli.trace"
+    assert main(["trace", "record", "--workload", "random", "--ops", "80",
+                 "--footprint", "65536", "-o", str(path)]) == 0
+    assert path.exists()
+    capsys.readouterr()
+    assert main(["trace", "run", str(path), "--system", "ideal_dram"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["instructions"] > 0
+
+
+def test_epoch_override(capsys):
+    assert main(["run", "--system", "thynvm", "--workload", "random",
+                 "--ops", "300", "--footprint", "65536",
+                 "--epoch-us", "10", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["epochs"] >= 2
+
+
+def test_parser_help_lists_subcommands():
+    parser = make_parser()
+    assert {a.dest for a in parser._subparsers._actions[-1].choices[
+        "run"]._actions if a.dest != "help"}  # parser is well-formed

@@ -1,0 +1,68 @@
+"""Unit tests for the system factory, runner and table helpers."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.cpu.trace import TraceBuilder
+from repro.errors import ConfigError
+from repro.harness.runner import run_workload
+from repro.harness.systems import SYSTEM_NAMES, build_system
+from repro.harness.tables import format_table, geometric_mean, normalize
+
+
+def small_trace():
+    builder = TraceBuilder()
+    for i in range(50):
+        builder.work(4).write(i * 64 % (64 * 1024), 64).txn()
+    return builder.build()
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_every_system_runs_a_trace(name):
+    result = run_workload(name, small_trace(), small_test_config())
+    assert result.finished
+    assert result.stats.instructions > 0
+    assert result.cycles > 0
+    assert result.stats.transactions == 50
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ConfigError):
+        build_system("nonsense", small_test_config())
+
+
+def test_runs_are_deterministic():
+    a = run_workload("thynvm", small_trace(), small_test_config())
+    b = run_workload("thynvm", small_trace(), small_test_config())
+    assert a.cycles == b.cycles
+    assert a.stats.nvm_write_blocks == b.stats.nvm_write_blocks
+
+
+def test_consistency_systems_cost_more_than_ideal():
+    config = small_test_config()
+    ideal = run_workload("ideal_dram", small_trace(), config)
+    thynvm = run_workload("thynvm", small_trace(), config)
+    assert thynvm.cycles >= ideal.cycles
+    assert thynvm.stats.epochs_completed >= 1
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1.5], ["bbb", 20]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+
+
+def test_normalize():
+    values = normalize({"a": 2.0, "b": 4.0}, "a")
+    assert values == {"a": 1.0, "b": 2.0}
+    with pytest.raises(ZeroDivisionError):
+        normalize({"a": 0.0}, "a")
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([]) == 0.0
+    assert geometric_mean([3]) == pytest.approx(3.0)

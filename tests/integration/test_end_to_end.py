@@ -1,0 +1,67 @@
+"""Integration tests: full machine (CPU + caches + memory system)."""
+
+import pytest
+
+from repro.config import small_test_config
+from repro.harness.runner import execute, run_workload
+from repro.harness.systems import build_system
+from repro.workloads.kvstore.workload import KVWorkload, kv_trace
+from repro.workloads.micro import random_trace, streaming_trace
+
+
+def test_thynvm_checkpoints_during_real_execution():
+    config = small_test_config(epoch_cycles=30_000)
+    result = run_workload("thynvm", random_trace(128 * 1024, 2000), config)
+    stats = result.stats
+    assert stats.epochs_completed >= 2
+    assert stats.nvm_writes.get("checkpoint") > 0
+    # Overlapped checkpointing keeps the stall share low even here.
+    assert stats.checkpoint_stall_fraction < 0.5
+
+
+def test_streaming_promotes_pages_end_to_end():
+    config = small_test_config(epoch_cycles=60_000)
+    result = run_workload("thynvm", streaming_trace(96 * 1024, 4000), config)
+    assert result.stats.pages_promoted > 0
+
+
+def test_kv_store_runs_on_every_consistency_system():
+    config = small_test_config()
+    workload = KVWorkload(num_ops=60, preload=30, request_size=64,
+                          heap_bytes=128 * 1024)
+    for system in ("journal", "shadow", "thynvm"):
+        result = run_workload(system, kv_trace(workload), config)
+        assert result.stats.transactions == 60
+
+
+def test_flush_preserves_cache_residency():
+    """After an epoch flush, re-reads hit the cache (CLWB semantics)."""
+    config = small_test_config(epoch_cycles=50_000)
+    system = build_system("thynvm", config)
+    trace = list(random_trace(16 * 1024, 600, seed=3))
+    result = execute(system, trace)
+    hits = result.stats.cache_hits.total()
+    misses = result.stats.cache_misses.total()
+    assert hits > misses
+
+
+def test_relative_ordering_of_systems_on_random():
+    """The paper's headline ordering holds even at test scale."""
+    config = small_test_config(epoch_cycles=50_000)
+    cycles = {}
+    for system in ("ideal_dram", "thynvm", "shadow"):
+        trace = random_trace(128 * 1024, 1500, seed=7)
+        cycles[system] = run_workload(system, trace, config).cycles
+    assert cycles["ideal_dram"] <= cycles["thynvm"] <= cycles["shadow"]
+
+
+def test_stats_conservation():
+    """Every transaction and instruction in the trace is accounted."""
+    config = small_test_config()
+    trace = list(random_trace(32 * 1024, 500, seed=1, txn_every=10))
+    expected_instr = sum(
+        op.size if op.kind.value == "work" else 1
+        for op in trace if op.kind.value in ("work", "read", "write"))
+    result = run_workload("thynvm", trace, config)
+    assert result.stats.instructions == expected_instr
+    assert result.stats.transactions == 50

@@ -1,0 +1,57 @@
+"""Unit tests for the functional backing stores."""
+
+import pytest
+
+from repro.mem.datastore import FunctionalStore, NullStore
+
+
+def test_read_unwritten_is_zeros():
+    store = FunctionalStore(64)
+    assert store.read(0) == bytes(64)
+
+
+def test_write_then_read():
+    store = FunctionalStore(64)
+    payload = b"x" * 64
+    store.write(128, payload)
+    assert store.read(128) == payload
+    assert 128 in store
+    assert len(store) == 1
+
+
+def test_none_payload_ignored():
+    store = FunctionalStore(64)
+    store.write(0, b"y" * 64)
+    store.write(0, None)
+    assert store.read(0) == b"y" * 64
+
+
+def test_wrong_size_rejected():
+    store = FunctionalStore(64)
+    with pytest.raises(ValueError):
+        store.write(0, b"short")
+
+
+def test_copy_block():
+    store = FunctionalStore(64)
+    store.write(0, b"z" * 64)
+    store.copy_block(0, 64)
+    assert store.read(64) == b"z" * 64
+
+
+def test_erase():
+    store = FunctionalStore(64)
+    store.write(0, b"a" * 64)
+    store.erase()
+    assert store.read(0) == bytes(64)
+    assert len(store) == 0
+
+
+def test_null_store_is_inert():
+    store = NullStore(64)
+    store.write(0, b"a" * 64)
+    assert store.read(0) == bytes(64)
+    assert 0 not in store
+    assert len(store) == 0
+    store.copy_block(0, 64)
+    store.erase()

@@ -1,0 +1,83 @@
+"""Unit tests for the bank + row-buffer timing model."""
+
+from repro.config import dram_timing, nvm_timing
+from repro.mem.device import MemoryDevice
+from repro.units import ns_to_cycles
+
+
+def make_nvm(banks=4, row_bytes=8192):
+    return MemoryDevice("nvm", nvm_timing(), row_bytes, banks, True)
+
+
+def make_dram(banks=4, row_bytes=8192):
+    return MemoryDevice("dram", dram_timing(), row_bytes, banks, False)
+
+
+def test_first_access_is_clean_miss():
+    device = make_nvm()
+    latency = device.access(0, is_write=False)
+    assert latency == ns_to_cycles(128) + ns_to_cycles(5)
+    assert device.row_misses == 1
+
+
+def test_row_hit_after_open():
+    device = make_nvm()
+    device.access(0, is_write=False)
+    latency = device.access(64, is_write=False)   # same row
+    assert latency == ns_to_cycles(40) + ns_to_cycles(5)
+    assert device.row_hits == 1
+
+
+def test_dirty_row_eviction_costs_more():
+    device = make_nvm(banks=1)
+    device.access(0, is_write=True)               # opens + dirties row 0
+    latency = device.access(8192, is_write=False)  # row conflict, dirty
+    assert latency == ns_to_cycles(368) + ns_to_cycles(5)
+
+
+def test_clean_row_conflict_cheaper_than_dirty():
+    device = make_nvm(banks=1)
+    device.access(0, is_write=False)
+    clean = device.access(8192, is_write=False)
+    device.access(0, is_write=True)
+    dirty = device.access(8192, is_write=False)
+    assert dirty > clean
+
+
+def test_dram_dirty_miss_equals_clean_miss():
+    device = make_dram(banks=1)
+    device.access(0, is_write=True)
+    latency = device.access(8192, is_write=False)
+    assert latency == ns_to_cycles(80) + ns_to_cycles(5)
+
+
+def test_banks_are_independent():
+    device = make_nvm(banks=2, row_bytes=64)
+    # Rows interleave across banks: addresses 0 and 64 hit banks 0, 1.
+    assert device.decode(0)[0] != device.decode(64)[0]
+    device.access(0, is_write=False)
+    device.access(64, is_write=False)
+    # Both were misses in their own banks.
+    assert device.row_misses == 2
+    # Re-access both: hits in both banks.
+    device.access(0, is_write=False)
+    device.access(64, is_write=False)
+    assert device.row_hits == 2
+
+
+def test_would_row_hit_matches_access():
+    device = make_nvm()
+    assert not device.would_row_hit(0)
+    device.access(0, is_write=False)
+    assert device.would_row_hit(0)
+    assert device.would_row_hit(4096)   # same row
+
+
+def test_reset_row_buffers():
+    device = make_nvm()
+    device.access(0, is_write=True)
+    device.reset_row_buffers()
+    assert not device.would_row_hit(0)
+    # After reset the row is clean again (no dirty eviction penalty).
+    latency = device.access(0, is_write=False)
+    assert latency == ns_to_cycles(128) + ns_to_cycles(5)

@@ -1,0 +1,44 @@
+"""Tests for per-block wear (write-endurance) tracking."""
+
+from repro.config import nvm_timing
+from repro.mem.device import MemoryDevice
+
+
+def make_device():
+    return MemoryDevice("nvm", nvm_timing(), 8192, 4, True)
+
+
+def test_writes_counted_per_block():
+    device = make_device()
+    for _ in range(3):
+        device.access(0, is_write=True)
+    device.access(64, is_write=True)
+    device.access(128, is_write=False)      # reads don't wear
+    assert device.write_counts[0] == 3
+    assert device.write_counts[64] == 1
+    assert 128 not in device.write_counts
+
+
+def test_wear_summary_totals():
+    device = make_device()
+    device.access(0, is_write=True)
+    device.access(0, is_write=True)
+    device.access(4096, is_write=True)
+    blocks, total, peak = device.wear_summary()
+    assert (blocks, total, peak) == (2, 3, 2)
+
+
+def test_wear_summary_range_filter():
+    device = make_device()
+    device.access(0, is_write=True)
+    device.access(10_000, is_write=True)
+    blocks, total, peak = device.wear_summary((0, 4096))
+    assert (blocks, total, peak) == (1, 1, 1)
+    assert device.wear_summary((20_000, 30_000)) == (0, 0, 0)
+
+
+def test_wear_survives_row_buffer_reset():
+    device = make_device()
+    device.access(0, is_write=True)
+    device.reset_row_buffers()
+    assert device.write_counts[0] == 1

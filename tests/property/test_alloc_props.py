@@ -1,0 +1,67 @@
+"""Property-based tests for the simulated-heap allocator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError
+from repro.workloads.kvstore.alloc import Allocator
+
+ARENA = 64 * 1024
+
+
+@st.composite
+def alloc_programs(draw):
+    """A sequence of alloc(size) / free(index-of-live-alloc) steps."""
+    steps = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("alloc"), st.integers(1, 2048)),
+            st.tuples(st.just("free"), st.integers(0, 10 ** 6)),
+        ),
+        min_size=1, max_size=120))
+    return steps
+
+
+@given(alloc_programs())
+@settings(max_examples=60, deadline=None)
+def test_allocations_never_overlap_and_always_coalesce(steps):
+    allocator = Allocator(0, ARENA)
+    live = {}   # addr -> size
+    for op, value in steps:
+        if op == "alloc":
+            try:
+                addr = allocator.alloc(value)
+            except AllocationError:
+                continue
+            # 8-byte alignment and no overlap with any live allocation.
+            assert addr % 8 == 0
+            end = addr + value
+            for other, other_size in live.items():
+                assert end <= other or addr >= other + other_size + (
+                    (-other_size) % 8)
+            live[addr] = value
+        elif live:
+            addr = sorted(live)[value % len(live)]
+            allocator.free(addr)
+            del live[addr]
+        allocator.check_invariants()
+    # Conservation: in-use bytes equal the sum of live (aligned) sizes.
+    expected = sum(size + ((-size) % 8) for size in live.values())
+    assert allocator.bytes_in_use == expected
+
+
+@given(st.lists(st.integers(1, 512), min_size=1, max_size=64))
+@settings(max_examples=40, deadline=None)
+def test_free_everything_restores_full_arena(sizes):
+    allocator = Allocator(0, ARENA)
+    addrs = []
+    for size in sizes:
+        try:
+            addrs.append(allocator.alloc(size))
+        except AllocationError:
+            break
+    for addr in addrs:
+        allocator.free(addr)
+    allocator.check_invariants()
+    assert allocator.free_bytes == ARENA
+    # The whole arena is allocatable again in one piece.
+    assert allocator.alloc(ARENA) == 0

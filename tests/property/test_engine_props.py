@@ -1,0 +1,59 @@
+"""Property tests for the event engine and cache structures."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.config import CacheConfig
+from repro.sim.engine import Engine
+
+
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_engine_fires_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fired = []
+    for delay in delays:
+        engine.schedule(delay, lambda d=delay: fired.append(engine.now))
+    engine.run_until_idle()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert engine.now == max(delays)
+
+
+@given(st.lists(st.tuples(st.integers(0, 511), st.booleans()),
+                min_size=1, max_size=400))
+@settings(max_examples=50, deadline=None)
+def test_cache_dirty_counter_always_exact(accesses):
+    cache = Cache("p", CacheConfig(2048, 4, 64, 1))
+    model = OrderedDict()   # resident block -> dirty (approximate LRU oracle)
+    for block, is_write in accesses:
+        addr = block * 64
+        if cache.lookup(addr):
+            if is_write:
+                cache.mark_dirty(addr)
+        else:
+            cache.insert(addr, dirty=is_write)
+        # Invariant under test: the O(1) counter equals a full recount.
+        recount = sum(
+            1 for entries in cache._sets.values()
+            for dirty in entries.values() if dirty)
+        assert cache.dirty_block_count() == recount
+    cleaned = cache.clean_dirty_blocks()
+    assert cache.dirty_block_count() == 0
+    assert len(set(cleaned)) == len(cleaned)
+
+
+@given(st.lists(st.integers(0, 255), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_cache_never_exceeds_capacity(blocks):
+    config = CacheConfig(1024, 2, 64, 1)
+    cache = Cache("p", config)
+    for block in blocks:
+        cache.insert(block * 64, dirty=False)
+        assert cache.resident_blocks <= config.num_sets * config.ways
+    # Everything ever inserted either resides or was evicted — lookups
+    # never fabricate hits for untouched blocks.
+    assert not cache.lookup((max(blocks) + 1) * 64, touch=False)

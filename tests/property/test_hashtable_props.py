@@ -1,0 +1,59 @@
+"""Property-based tests: the hash table matches a model dict under
+arbitrary operation sequences, and its heap usage is conserved."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.kvstore.alloc import Allocator
+from repro.workloads.kvstore.hashtable import HashTable
+from repro.workloads.kvstore.recmem import RecordingMemory
+
+KEYS = st.integers(1, 80)
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS,
+                  st.binary(min_size=1, max_size=48)),
+        st.tuples(st.just("delete"), KEYS, st.just(b"")),
+        st.tuples(st.just("search"), KEYS, st.just(b"")),
+    ),
+    min_size=1, max_size=200)
+
+
+@given(OPS)
+@settings(max_examples=50, deadline=None)
+def test_hashtable_matches_model(ops):
+    memory = RecordingMemory(512 * 1024, work_per_access=0)
+    allocator = Allocator(64, 512 * 1024 - 64)
+    table = HashTable(memory, allocator, bucket_count=16)   # force chains
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            assert table.insert(key, value) == (key not in model)
+            model[key] = value
+        elif op == "delete":
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert table.search(key) == model.get(key)
+        memory.drain_ops()
+    assert len(table) == len(model)
+    for key, value in model.items():
+        assert table.search(key) == value
+    allocator.check_invariants()
+
+
+@given(st.lists(st.tuples(KEYS, st.binary(min_size=1, max_size=32)),
+                min_size=1, max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_heap_is_conserved_after_deleting_everything(pairs):
+    memory = RecordingMemory(256 * 1024, work_per_access=0)
+    allocator = Allocator(64, 256 * 1024 - 64)
+    table = HashTable(memory, allocator, bucket_count=32)
+    baseline = allocator.bytes_in_use          # bucket array
+    for key, value in pairs:
+        table.insert(key, value)
+    for key, _value in pairs:
+        table.delete(key)
+    assert len(table) == 0
+    assert allocator.bytes_in_use == baseline
+    allocator.check_invariants()

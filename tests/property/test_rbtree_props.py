@@ -1,0 +1,40 @@
+"""Property-based tests: the red-black tree matches a model dict and
+keeps its invariants under arbitrary operation sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.kvstore.alloc import Allocator
+from repro.workloads.kvstore.rbtree import RedBlackTree
+from repro.workloads.kvstore.recmem import RecordingMemory
+
+KEYS = st.integers(1, 64)
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), KEYS, st.binary(min_size=0, max_size=40)),
+        st.tuples(st.just("delete"), KEYS, st.just(b"")),
+        st.tuples(st.just("search"), KEYS, st.just(b"")),
+    ),
+    min_size=1, max_size=150)
+
+
+@given(OPS)
+@settings(max_examples=50, deadline=None)
+def test_rbtree_matches_model(ops):
+    memory = RecordingMemory(1024 * 1024, work_per_access=0)
+    tree = RedBlackTree(memory, Allocator(64, 1024 * 1024 - 64))
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            tree.insert(key, value)
+            model[key] = value
+        elif op == "delete":
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert tree.search(key) == model.get(key)
+        memory.drain_ops()
+    tree.check_invariants()
+    assert len(tree) == len(model)
+    for key, value in model.items():
+        assert tree.search(key) == value

@@ -1,0 +1,102 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+def test_events_fire_in_time_order():
+    engine = Engine()
+    order = []
+    engine.schedule(30, lambda: order.append("c"))
+    engine.schedule(10, lambda: order.append("a"))
+    engine.schedule(20, lambda: order.append("b"))
+    engine.run_until_idle()
+    assert order == ["a", "b", "c"]
+    assert engine.now == 30
+
+
+def test_same_time_events_fire_in_schedule_order():
+    engine = Engine()
+    order = []
+    for tag in range(5):
+        engine.schedule(7, lambda tag=tag: order.append(tag))
+    engine.run_until_idle()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_stops_at_boundary():
+    engine = Engine()
+    fired = []
+    engine.schedule(5, lambda: fired.append(5))
+    engine.schedule(15, lambda: fired.append(15))
+    engine.run(until=10)
+    assert fired == [5]
+    assert engine.now == 10
+    engine.run_until_idle()
+    assert fired == [5, 15]
+
+
+def test_events_can_schedule_more_events():
+    engine = Engine()
+    seen = []
+
+    def chain(depth):
+        seen.append(depth)
+        if depth < 5:
+            engine.schedule(1, lambda: chain(depth + 1))
+
+    engine.schedule(0, lambda: chain(0))
+    engine.run_until_idle()
+    assert seen == [0, 1, 2, 3, 4, 5]
+    assert engine.now == 5
+
+
+def test_cancelled_events_do_not_fire():
+    engine = Engine()
+    fired = []
+    event = engine.schedule(10, lambda: fired.append("cancelled"))
+    engine.schedule(5, lambda: fired.append("kept"))
+    event.cancel()
+    engine.run_until_idle()
+    assert fired == ["kept"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    engine = Engine()
+    engine.schedule(10, lambda: None)
+    engine.run_until_idle()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(5, lambda: None)
+
+
+def test_run_until_advances_time_with_no_events():
+    engine = Engine()
+    engine.run(until=1000)
+    assert engine.now == 1000
+
+
+def test_max_events_cap():
+    engine = Engine()
+
+    def forever():
+        engine.schedule(1, forever)
+
+    engine.schedule(0, forever)
+    with pytest.raises(SimulationError):
+        engine.run_until_idle(max_events=100)
+
+
+def test_events_fired_counter():
+    engine = Engine()
+    for _ in range(4):
+        engine.schedule(1, lambda: None)
+    engine.run_until_idle()
+    assert engine.events_fired == 4

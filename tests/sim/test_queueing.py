@@ -1,0 +1,105 @@
+"""Unit tests for the bounded request queues."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.queueing import BoundedQueue
+from repro.sim.request import MemoryRequest, Origin
+
+
+def req(addr, is_write=True):
+    return MemoryRequest(addr, is_write, Origin.CPU)
+
+
+def test_enqueue_until_full():
+    queue = BoundedQueue("q", 2)
+    assert queue.try_enqueue(req(0))
+    assert queue.try_enqueue(req(64))
+    assert queue.full
+    assert not queue.try_enqueue(req(128))
+    assert queue.total_enqueued == 2
+    assert queue.max_occupancy == 2
+
+
+def test_pop_is_fifo():
+    queue = BoundedQueue("q", 4)
+    first, second = req(0), req(64)
+    queue.try_enqueue(first)
+    queue.try_enqueue(second)
+    assert queue.pop() is first
+    assert queue.pop() is second
+
+
+def test_pop_empty_raises():
+    queue = BoundedQueue("q", 4)
+    with pytest.raises(SimulationError):
+        queue.pop()
+
+
+def test_waiter_woken_on_pop():
+    queue = BoundedQueue("q", 1)
+    queue.try_enqueue(req(0))
+    woken = []
+    queue.wait_for_slot(lambda: woken.append(1))
+    assert not woken
+    queue.pop()
+    assert woken == [1]
+
+
+def test_pop_best_prefers_row_hit():
+    queue = BoundedQueue("q", 4)
+    a, b, c = req(0), req(64), req(128)
+    for r in (a, b, c):
+        queue.try_enqueue(r)
+    assert queue.pop_best(lambda r: r.addr == 128) is c
+
+
+def test_pop_best_never_reorders_same_address():
+    queue = BoundedQueue("q", 4)
+    head = req(0)
+    old = req(64)
+    new = req(64)
+    for r in (head, old, new):
+        queue.try_enqueue(r)
+    # Preferring the *younger* same-address request must not pick it;
+    # pop_best falls back to the FIFO head instead.
+    got = queue.pop_best(lambda r: r is new)
+    assert got is head
+
+
+def test_pop_ready_respects_bank_availability():
+    queue = BoundedQueue("q", 4)
+    a, b = req(0), req(64)
+    queue.try_enqueue(a)
+    queue.try_enqueue(b)
+    got = queue.pop_ready(lambda r: r.addr == 64, lambda r: False)
+    assert got is b
+    assert len(queue) == 1
+
+
+def test_pop_ready_same_address_fifo():
+    queue = BoundedQueue("q", 4)
+    old, new = req(64), req(64)
+    queue.try_enqueue(old)
+    queue.try_enqueue(new)
+    # Even if only the younger one is "ready", it must not bypass the
+    # older same-address request.
+    got = queue.pop_ready(lambda r: r is new, lambda r: True)
+    assert got is None or got is old
+
+
+def test_pop_ready_returns_none_when_nothing_ready():
+    queue = BoundedQueue("q", 4)
+    queue.try_enqueue(req(0))
+    assert queue.pop_ready(lambda r: False, lambda r: False) is None
+
+
+def test_drop_all_clears_items_and_waiters():
+    queue = BoundedQueue("q", 1)
+    queue.try_enqueue(req(0))
+    woken = []
+    queue.wait_for_slot(lambda: woken.append(1))
+    dropped = queue.drop_all()
+    assert dropped == 1
+    assert not queue
+    assert not woken, "crash must not wake producers"

@@ -1,0 +1,49 @@
+"""Tests for the full-run report renderer."""
+
+import json
+
+from repro.config import small_test_config
+from repro.harness.runner import run_workload
+from repro.stats.collector import StatsCollector
+from repro.stats.report import full_report, json_report, text_report
+from repro.workloads.micro import random_trace
+
+
+def make_stats():
+    result = run_workload("thynvm", random_trace(64 * 1024, 300),
+                          small_test_config())
+    return result.stats
+
+
+def test_full_report_structure():
+    report = full_report(make_stats())
+    for section in ("execution", "stalls", "traffic_blocks", "latency",
+                    "checkpointing", "caches"):
+        assert section in report
+    assert report["execution"]["instructions"] > 0
+    assert report["checkpointing"]["epochs"] >= 1
+    assert "nvm_write_breakdown" in report["traffic_blocks"]
+
+
+def test_json_report_round_trips():
+    text = json_report(make_stats())
+    parsed = json.loads(text)
+    assert parsed["execution"]["cycles"] > 0
+    # Deterministic simulation + sorted keys => byte-identical reports.
+    assert text == json_report(make_stats())
+
+
+def test_text_report_flat_lines():
+    text = text_report(make_stats(), title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "=== demo ==="
+    assert any(line.startswith("execution.ipc") for line in lines)
+    assert any(line.startswith("latency.read.mean") for line in lines)
+
+
+def test_empty_collector_reports_cleanly():
+    stats = StatsCollector()
+    report = full_report(stats)
+    assert report["execution"]["cycles"] == 0
+    assert report["latency"]["read"]["count"] == 0
+    json.loads(json_report(stats))

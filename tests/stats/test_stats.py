@@ -1,0 +1,97 @@
+"""Unit tests for counters, histograms and the collector."""
+
+import pytest
+
+from repro.stats.collector import StatsCollector
+from repro.stats.counters import CounterGroup
+from repro.stats.histogram import Histogram
+from repro.units import CPU_FREQ_HZ
+
+
+def test_counter_group_basics():
+    group = CounterGroup("g")
+    group.add("a")
+    group.add("a", 2)
+    group.add("b", 5)
+    assert group.get("a") == 3
+    assert group["b"] == 5
+    assert group.get("missing") == 0
+    assert group.total() == 8
+    assert group.as_dict() == {"a": 3, "b": 5}
+
+
+def test_counter_group_merge():
+    one, two = CounterGroup("g"), CounterGroup("g")
+    one.add("x", 1)
+    two.add("x", 2)
+    two.add("y", 3)
+    one.merge(two)
+    assert one.as_dict() == {"x": 3, "y": 3}
+
+
+def test_histogram_stats():
+    hist = Histogram("h")
+    for value in (1, 2, 3, 100):
+        hist.record(value)
+    assert hist.count == 4
+    assert hist.mean == 26.5
+    assert hist.min == 1
+    assert hist.max == 100
+    assert sum(hist.bucket_counts().values()) == 4
+
+
+def test_histogram_rejects_negative():
+    with pytest.raises(ValueError):
+        Histogram("h").record(-1)
+
+
+def test_histogram_merge():
+    a, b = Histogram("h"), Histogram("h")
+    a.record(10)
+    b.record(20)
+    a.merge(b)
+    assert a.count == 2
+    assert a.min == 10 and a.max == 20
+
+
+def test_collector_derived_metrics():
+    stats = StatsCollector(block_bytes=64)
+    stats.instructions = 3000
+    stats.end_cycle = CPU_FREQ_HZ // 1000   # 1 ms of simulated time
+    assert stats.ipc == pytest.approx(3000 / stats.cycles)
+    assert stats.seconds == pytest.approx(0.001)
+    stats.transactions = 10
+    assert stats.throughput_tps == pytest.approx(10_000)
+
+
+def test_collector_traffic_breakdown():
+    stats = StatsCollector(block_bytes=64)
+    stats.record_device_access("nvm", True, "cpu")
+    stats.record_device_access("nvm", True, "flush")
+    stats.record_device_access("nvm", True, "checkpoint", latency=10)
+    stats.record_device_access("nvm", True, "journal")
+    stats.record_device_access("nvm", True, "migration")
+    stats.record_device_access("dram", True, "cpu")
+    breakdown = stats.nvm_write_breakdown()
+    assert breakdown == {"cpu": 2, "checkpoint": 2, "migration": 1}
+    assert stats.nvm_write_blocks == 5
+    assert stats.nvm_write_bytes == 5 * 64
+    assert stats.write_latency.count == 1
+
+
+def test_collector_ckpt_stall_fraction():
+    stats = StatsCollector()
+    stats.end_cycle = 1000
+    stats.stall_cycles.add("flush", 100)
+    stats.stall_cycles.add("checkpoint", 150)
+    stats.stall_cycles.add("unrelated", 500)
+    assert stats.checkpoint_stall_fraction == pytest.approx(0.25)
+
+
+def test_collector_summary_keys():
+    stats = StatsCollector()
+    stats.end_cycle = 100
+    summary = stats.summary()
+    for key in ("cycles", "ipc", "throughput_tps", "nvm_write_blocks",
+                "nvm_write_breakdown", "ckpt_stall_fraction", "epochs"):
+        assert key in summary

@@ -1,0 +1,26 @@
+"""The exception hierarchy: one base, meaningful subclasses."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    subclasses = [
+        errors.ConfigError, errors.SimulationError, errors.AddressError,
+        errors.TableOverflowError, errors.ProtocolError,
+        errors.RecoveryError, errors.WorkloadError, errors.AllocationError,
+    ]
+    for cls in subclasses:
+        assert issubclass(cls, errors.ReproError)
+        with pytest.raises(errors.ReproError):
+            raise cls("boom")
+
+
+def test_catching_base_catches_library_errors():
+    from repro.config import SystemConfig
+    with pytest.raises(errors.ReproError):
+        SystemConfig(block_bytes=3)
+    from repro.workloads.micro import random_trace
+    with pytest.raises(errors.ReproError):
+        list(random_trace(0, 1))

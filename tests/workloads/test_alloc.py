@@ -1,0 +1,74 @@
+"""Unit tests for the simulated-heap allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.workloads.kvstore.alloc import Allocator
+
+
+def test_alloc_returns_aligned_disjoint_ranges():
+    allocator = Allocator(64, 4096)
+    a = allocator.alloc(24)
+    b = allocator.alloc(100)
+    assert a % 8 == 0 and b % 8 == 0
+    assert b >= a + 24
+    allocator.check_invariants()
+
+
+def test_free_and_reuse():
+    allocator = Allocator(0, 1024)
+    a = allocator.alloc(512)
+    allocator.free(a)
+    b = allocator.alloc(512)
+    assert b == a
+
+
+def test_coalescing_allows_big_alloc_after_frees():
+    allocator = Allocator(0, 1024)
+    chunks = [allocator.alloc(128) for _ in range(8)]
+    with pytest.raises(AllocationError):
+        allocator.alloc(256)
+    for chunk in chunks:
+        allocator.free(chunk)
+    allocator.check_invariants()
+    big = allocator.alloc(1024)
+    assert big == 0
+
+
+def test_out_of_memory_raises():
+    allocator = Allocator(0, 256)
+    allocator.alloc(200)
+    with pytest.raises(AllocationError):
+        allocator.alloc(100)
+
+
+def test_double_free_rejected():
+    allocator = Allocator(0, 256)
+    a = allocator.alloc(32)
+    allocator.free(a)
+    with pytest.raises(AllocationError):
+        allocator.free(a)
+
+
+def test_free_unknown_rejected():
+    allocator = Allocator(0, 256)
+    with pytest.raises(AllocationError):
+        allocator.free(128)
+
+
+def test_accounting():
+    allocator = Allocator(0, 1024)
+    a = allocator.alloc(100)          # rounds to 104
+    assert allocator.bytes_in_use == 104
+    assert allocator.free_bytes == 1024 - 104
+    allocator.free(a)
+    assert allocator.bytes_in_use == 0
+    assert allocator.peak_bytes == 104
+
+
+def test_invalid_sizes():
+    allocator = Allocator(0, 256)
+    with pytest.raises(AllocationError):
+        allocator.alloc(0)
+    with pytest.raises(AllocationError):
+        Allocator(0, 0)

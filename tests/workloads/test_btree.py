@@ -1,0 +1,110 @@
+"""Unit tests for the B+-tree store."""
+
+import random
+
+import pytest
+
+from repro.workloads.kvstore.alloc import Allocator
+from repro.workloads.kvstore.btree import BPlusTree
+from repro.workloads.kvstore.recmem import RecordingMemory
+
+
+@pytest.fixture
+def tree():
+    memory = RecordingMemory(2 * 1024 * 1024, work_per_access=0)
+    allocator = Allocator(64, 2 * 1024 * 1024 - 64)
+    return BPlusTree(memory, allocator)
+
+
+def test_insert_search(tree):
+    assert tree.insert(5, b"five")
+    assert tree.insert(1, b"one")
+    assert tree.search(5) == b"five"
+    assert tree.search(1) == b"one"
+    assert tree.search(9) is None
+    tree.check_invariants()
+
+
+def test_update_replaces_value(tree):
+    tree.insert(7, b"old")
+    assert not tree.insert(7, b"new and longer")
+    assert tree.search(7) == b"new and longer"
+    assert len(tree) == 1
+
+
+def test_sequential_inserts_split_and_stay_sorted(tree):
+    for key in range(1, 300):
+        tree.insert(key, bytes([key % 251]))
+    height = tree.check_invariants()
+    assert height >= 3          # order-8 tree of 299 keys must split
+    for key in range(1, 300):
+        assert tree.search(key) == bytes([key % 251])
+
+
+def test_reverse_and_interleaved_inserts(tree):
+    for key in range(200, 0, -2):
+        tree.insert(key, b"a")
+    for key in range(1, 201, 2):
+        tree.insert(key, b"b")
+    tree.check_invariants()
+    assert len(tree) == 200
+
+
+def test_range_scan(tree):
+    for key in range(0, 100, 5):
+        tree.insert(key, bytes([key % 251]))
+    got = tree.range_scan(12, 40)
+    assert [key for key, _value in got] == [15, 20, 25, 30, 35, 40]
+    assert all(value == bytes([key % 251]) for key, value in got)
+    assert tree.range_scan(41, 43) == []
+    assert tree.range_scan(90, 10) == []
+
+
+def test_range_scan_spans_leaves(tree):
+    for key in range(64):
+        tree.insert(key, b"x")
+    got = tree.range_scan(0, 63)
+    assert len(got) == 64
+
+
+def test_delete(tree):
+    for key in range(40):
+        tree.insert(key, bytes([key + 1]))
+    assert tree.delete(17)
+    assert not tree.delete(17)
+    assert tree.search(17) is None
+    assert tree.search(18) == bytes([19])
+    tree.check_invariants()
+    assert len(tree) == 39
+
+
+def test_matches_model_under_random_ops(tree):
+    rng = random.Random(17)
+    model = {}
+    for step in range(2500):
+        key = rng.randrange(1, 150)
+        op = rng.random()
+        if op < 0.45:
+            value = bytes([key % 251]) * rng.randrange(1, 16)
+            tree.insert(key, value)
+            model[key] = value
+        elif op < 0.7:
+            assert tree.search(key) == model.get(key)
+        elif op < 0.9:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        else:
+            lo = rng.randrange(1, 150)
+            hi = lo + rng.randrange(0, 30)
+            expected = sorted((k, v) for k, v in model.items()
+                              if lo <= k <= hi)
+            assert tree.range_scan(lo, hi) == expected
+        if step % 500 == 0:
+            tree.check_invariants()
+    tree.check_invariants()
+    tree.allocator.check_invariants()
+
+
+def test_empty_value(tree):
+    tree.insert(3, b"")
+    assert tree.search(3) == b""

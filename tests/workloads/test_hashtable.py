@@ -1,0 +1,85 @@
+"""Unit tests for the hash-table KV store on the simulated heap."""
+
+import random
+
+import pytest
+
+from repro.workloads.kvstore.alloc import Allocator
+from repro.workloads.kvstore.hashtable import HashTable
+from repro.workloads.kvstore.recmem import RecordingMemory
+
+
+@pytest.fixture
+def table():
+    memory = RecordingMemory(512 * 1024, work_per_access=0)
+    allocator = Allocator(64, 512 * 1024 - 64)
+    return HashTable(memory, allocator, bucket_count=64)
+
+
+def test_insert_search(table):
+    assert table.insert(1, b"one")
+    assert table.search(1) == b"one"
+    assert table.search(2) is None
+    assert len(table) == 1
+
+
+def test_update_same_size_in_place(table):
+    table.insert(1, b"aaa")
+    assert not table.insert(1, b"bbb")
+    assert table.search(1) == b"bbb"
+    assert len(table) == 1
+
+
+def test_update_different_size_reallocates(table):
+    table.insert(1, b"short")
+    table.insert(1, b"much longer value")
+    assert table.search(1) == b"much longer value"
+    table.allocator.check_invariants()
+
+
+def test_delete(table):
+    table.insert(1, b"x")
+    assert table.delete(1)
+    assert table.search(1) is None
+    assert not table.delete(1)
+    assert len(table) == 0
+
+
+def test_collisions_chain_correctly(table):
+    # 64 buckets, 300 keys: guaranteed chains.
+    for key in range(1, 301):
+        table.insert(key, f"v{key}".encode())
+    for key in range(1, 301):
+        assert table.search(key) == f"v{key}".encode()
+    # Delete every other key; the rest must survive.
+    for key in range(1, 301, 2):
+        assert table.delete(key)
+    for key in range(1, 301):
+        expected = None if key % 2 == 1 else f"v{key}".encode()
+        assert table.search(key) == expected
+
+
+def test_matches_python_dict_under_random_ops(table):
+    rng = random.Random(11)
+    model = {}
+    for _ in range(2000):
+        key = rng.randrange(1, 100)
+        op = rng.random()
+        if op < 0.4:
+            value = bytes([key]) * rng.randrange(1, 32)
+            table.insert(key, value)
+            model[key] = value
+        elif op < 0.7:
+            assert table.search(key) == model.get(key)
+        else:
+            assert table.delete(key) == (key in model)
+            model.pop(key, None)
+    assert len(table) == len(model)
+    table.allocator.check_invariants()
+
+
+def test_operations_generate_memory_traffic(table):
+    table.memory.drain_ops()
+    table.insert(1, b"x" * 64)
+    ops = table.memory.drain_ops()
+    assert len(ops) >= 3   # bucket read, node writes...

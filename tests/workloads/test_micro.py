@@ -1,0 +1,73 @@
+"""Unit tests for the micro-benchmark generators."""
+
+import pytest
+
+from repro.cpu.trace import OpKind
+from repro.errors import WorkloadError
+from repro.workloads.micro import random_trace, sliding_trace, streaming_trace
+
+FOOTPRINT = 256 * 1024
+
+
+def collect(gen):
+    return list(gen)
+
+
+def mem_ops(ops):
+    return [op for op in ops if op.kind in (OpKind.READ, OpKind.WRITE)]
+
+
+@pytest.mark.parametrize("factory", [random_trace, streaming_trace,
+                                     sliding_trace])
+def test_read_write_ratio_is_one_to_one(factory):
+    ops = mem_ops(collect(factory(FOOTPRINT, 1000)))
+    reads = sum(1 for op in ops if op.kind is OpKind.READ)
+    writes = sum(1 for op in ops if op.kind is OpKind.WRITE)
+    assert reads == writes == 500
+
+
+@pytest.mark.parametrize("factory", [random_trace, streaming_trace,
+                                     sliding_trace])
+def test_addresses_within_footprint(factory):
+    for op in mem_ops(collect(factory(FOOTPRINT, 500))):
+        assert 0 <= op.addr < FOOTPRINT
+        assert op.addr + op.size <= FOOTPRINT
+
+
+def test_random_is_deterministic_per_seed():
+    a = collect(random_trace(FOOTPRINT, 100, seed=5))
+    b = collect(random_trace(FOOTPRINT, 100, seed=5))
+    c = collect(random_trace(FOOTPRINT, 100, seed=6))
+    assert a == b
+    assert a != c
+
+
+def test_streaming_is_sequential():
+    ops = mem_ops(collect(streaming_trace(FOOTPRINT, 64)))
+    addresses = [op.addr for op in ops]
+    # write/read pairs at the same address, then advance.
+    assert addresses[0] == addresses[1]
+    assert addresses[2] == addresses[0] + 64
+
+
+def test_sliding_moves_through_regions():
+    ops = mem_ops(collect(sliding_trace(FOOTPRINT, 3000,
+                                        region_bytes=16 * 1024,
+                                        ops_per_region=256)))
+    early = {op.addr // (16 * 1024) for op in ops[:200]}
+    late = {op.addr // (16 * 1024) for op in ops[-200:]}
+    assert early != late
+
+
+def test_txn_markers_emitted():
+    ops = collect(random_trace(FOOTPRINT, 160, txn_every=16))
+    assert sum(1 for op in ops if op.kind is OpKind.TXN) == 10
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(WorkloadError):
+        collect(random_trace(0, 10))
+    with pytest.raises(WorkloadError):
+        collect(streaming_trace(FOOTPRINT, 0))
+    with pytest.raises(WorkloadError):
+        collect(sliding_trace(FOOTPRINT, 10, region_bytes=FOOTPRINT * 2))

@@ -1,0 +1,87 @@
+"""Unit tests for the red-black-tree KV store."""
+
+import random
+
+import pytest
+
+from repro.workloads.kvstore.alloc import Allocator
+from repro.workloads.kvstore.rbtree import RedBlackTree
+from repro.workloads.kvstore.recmem import RecordingMemory
+
+
+@pytest.fixture
+def tree():
+    memory = RecordingMemory(1024 * 1024, work_per_access=0)
+    allocator = Allocator(64, 1024 * 1024 - 64)
+    return RedBlackTree(memory, allocator)
+
+
+def test_insert_search(tree):
+    tree.insert(5, b"five")
+    tree.insert(3, b"three")
+    tree.insert(8, b"eight")
+    assert tree.search(3) == b"three"
+    assert tree.search(5) == b"five"
+    assert tree.search(9) is None
+    tree.check_invariants()
+
+
+def test_sequential_inserts_stay_balanced(tree):
+    for key in range(1, 200):
+        tree.insert(key, b"v")
+    tree.check_invariants()
+    # A balanced tree of 199 nodes has height <= 2*log2(200) ~ 16;
+    # verify search depth via recorded traffic: one key read per level.
+    tree.memory.drain_ops()
+    tree.search(199)
+    reads = sum(1 for op in tree.memory.drain_ops())
+    assert reads < 80
+
+
+def test_update_existing_key(tree):
+    tree.insert(1, b"aaaa")
+    tree.insert(1, b"bbbb")
+    assert tree.search(1) == b"bbbb"
+    tree.insert(1, b"longer value than before")
+    assert tree.search(1) == b"longer value than before"
+    tree.check_invariants()
+
+
+def test_delete_leaf_and_internal(tree):
+    for key in (10, 5, 15, 3, 7, 12, 18):
+        tree.insert(key, bytes([key]))
+    assert tree.delete(3)            # leaf
+    assert tree.delete(10)           # internal (root)
+    assert not tree.delete(99)
+    tree.check_invariants()
+    assert tree.search(3) is None
+    assert tree.search(10) is None
+    for key in (5, 15, 7, 12, 18):
+        assert tree.search(key) == bytes([key])
+
+
+def test_matches_python_dict_under_random_ops(tree):
+    rng = random.Random(13)
+    model = {}
+    for step in range(1500):
+        key = rng.randrange(1, 120)
+        op = rng.random()
+        if op < 0.45:
+            value = bytes([key % 251]) * rng.randrange(1, 24)
+            tree.insert(key, value)
+            model[key] = value
+        elif op < 0.75:
+            assert tree.search(key) == model.get(key)
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+        if step % 250 == 0:
+            tree.check_invariants()
+    assert len(tree) == len(model)
+    tree.check_invariants()
+    tree.allocator.check_invariants()
+
+
+def test_empty_value(tree):
+    tree.insert(1, b"")
+    assert tree.search(1) == b""

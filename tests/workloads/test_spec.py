@@ -1,0 +1,68 @@
+"""Unit tests for the SPEC CPU2006 trace models."""
+
+import pytest
+
+from repro.cpu.trace import OpKind
+from repro.errors import WorkloadError
+from repro.workloads.spec import SPEC_MODELS, SpecModel, spec_trace
+
+
+def test_eight_paper_benchmarks_present():
+    assert set(SPEC_MODELS) == {
+        "gcc", "bwaves", "milc", "leslie3d", "soplex", "GemsFDTD",
+        "lbm", "omnetpp"}
+
+
+def test_pattern_mix_must_sum_to_one():
+    with pytest.raises(WorkloadError):
+        SpecModel("bad", 1024, 1, 0.5, 0.5, 0.5, 0.5, 0.5)
+
+
+def test_trace_length_and_instruction_budget():
+    model = SPEC_MODELS["gcc"]
+    ops = list(spec_trace(model, 500))
+    mem = [op for op in ops if op.kind in (OpKind.READ, OpKind.WRITE)]
+    assert len(mem) == 500
+    instructions = sum(op.size for op in ops if op.kind is OpKind.WORK)
+    assert instructions == 500 * model.work_per_mem
+
+
+def test_write_fraction_approximated():
+    model = SPEC_MODELS["lbm"]
+    ops = [op for op in spec_trace(model, 4000)
+           if op.kind in (OpKind.READ, OpKind.WRITE)]
+    writes = sum(1 for op in ops if op.kind is OpKind.WRITE)
+    assert abs(writes / len(ops) - model.write_frac) < 0.1
+
+
+def test_addresses_within_footprint():
+    model = SPEC_MODELS["milc"]
+    for op in spec_trace(model, 1000):
+        if op.kind in (OpKind.READ, OpKind.WRITE):
+            assert 0 <= op.addr < model.footprint
+
+
+def test_streaming_model_shows_spatial_locality():
+    model = SPEC_MODELS["lbm"]
+    addrs = [op.addr for op in spec_trace(model, 2000)
+             if op.kind in (OpKind.READ, OpKind.WRITE)]
+    sequential = sum(1 for a, b in zip(addrs, addrs[1:]) if b - a == 64)
+    random_model = SPEC_MODELS["milc"]
+    addrs_r = [op.addr for op in spec_trace(random_model, 2000)
+               if op.kind in (OpKind.READ, OpKind.WRITE)]
+    sequential_r = sum(1 for a, b in zip(addrs_r, addrs_r[1:])
+                       if b - a == 64)
+    assert sequential > 2 * sequential_r
+
+
+def test_deterministic_per_seed():
+    model = SPEC_MODELS["omnetpp"]
+    assert list(spec_trace(model, 200, seed=4)) == \
+        list(spec_trace(model, 200, seed=4))
+    assert list(spec_trace(model, 200, seed=4)) != \
+        list(spec_trace(model, 200, seed=5))
+
+
+def test_invalid_op_count():
+    with pytest.raises(WorkloadError):
+        list(spec_trace(SPEC_MODELS["gcc"], 0))

@@ -1,0 +1,58 @@
+"""Tests for trace file recording and replay."""
+
+import io
+
+import pytest
+
+from repro.cpu.trace import OpKind, persist, read, txn, work, write
+from repro.errors import WorkloadError
+from repro.workloads.micro import random_trace
+from repro.workloads.tracefile import (format_op, load_trace, parse_op,
+                                       save_trace)
+
+
+def test_round_trip_all_op_kinds(tmp_path):
+    ops = [work(7), read(0x1000, 64), write(0x2040, 8), txn(), persist()]
+    path = tmp_path / "t.trace"
+    assert save_trace(ops, path, header="demo") == 5
+    assert list(load_trace(path)) == ops
+
+
+def test_round_trip_generated_workload(tmp_path):
+    ops = list(random_trace(64 * 1024, 300, seed=4))
+    path = tmp_path / "w.trace"
+    save_trace(ops, path)
+    assert list(load_trace(path)) == ops
+
+
+def test_format_is_stable():
+    assert format_op(work(3)) == "W 3"
+    assert format_op(read(0x40, 64)) == "R 0x40 64"
+    assert format_op(write(0x80, 8)) == "S 0x80 8"
+    assert format_op(txn()) == "T"
+    assert format_op(persist()) == "P"
+
+
+def test_parse_accepts_decimal_and_hex():
+    assert parse_op("R 64 8").addr == 64
+    assert parse_op("R 0x40 8").addr == 64
+
+
+def test_comments_and_blanks_ignored():
+    text = "# header\n\nW 2\n  # inline comment line\nT\n"
+    ops = list(load_trace(io.StringIO(text)))
+    assert [op.kind for op in ops] == [OpKind.WORK, OpKind.TXN]
+
+
+def test_malformed_lines_report_position():
+    with pytest.raises(WorkloadError, match="line 2"):
+        list(load_trace(io.StringIO("W 1\nR nope\n")))
+    with pytest.raises(WorkloadError, match="unknown op"):
+        parse_op("Z 1 2", 7)
+
+
+def test_stream_destination():
+    buffer = io.StringIO()
+    save_trace([work(1), txn()], buffer)
+    buffer.seek(0)
+    assert len(list(load_trace(buffer))) == 2

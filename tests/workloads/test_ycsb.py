@@ -1,0 +1,64 @@
+"""Tests for the YCSB workload presets."""
+
+import pytest
+
+from repro.cpu.trace import OpKind
+from repro.errors import WorkloadError
+from repro.workloads.ycsb import YCSB_MIXES, ycsb_trace, ycsb_workload
+
+
+def test_all_mixes_build():
+    for mix in YCSB_MIXES:
+        workload = ycsb_workload(mix, num_ops=10)
+        assert workload.search_frac == YCSB_MIXES[mix]["search_frac"]
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(WorkloadError):
+        ycsb_workload("Z")
+
+
+def test_mix_e_scans_on_btree():
+    workload = ycsb_workload("E", num_ops=20)
+    assert workload.structure == "btree"
+    ops = list(ycsb_trace("E", num_ops=30, seed=4))
+    assert sum(1 for op in ops if op.kind is OpKind.TXN) == 30
+    # Scans do plenty of reading.
+    reads = sum(1 for op in ops if op.kind is OpKind.READ)
+    assert reads > 30
+
+
+def test_mix_c_is_read_only():
+    ops = list(ycsb_trace("C", num_ops=50, seed=3))
+    # After the (untraced) preload, a read-only mix writes nothing.
+    assert not any(op.kind is OpKind.WRITE for op in ops)
+    assert sum(1 for op in ops if op.kind is OpKind.TXN) == 50
+
+
+def test_mix_a_writes_heavily():
+    ops = list(ycsb_trace("A", num_ops=100, seed=3))
+    writes = sum(1 for op in ops if op.kind is OpKind.WRITE)
+    assert writes > 50
+
+
+def test_mix_f_reads_then_writes_each_txn():
+    ops = list(ycsb_trace("F", num_ops=40, seed=3))
+    reads = sum(1 for op in ops if op.kind is OpKind.READ)
+    writes = sum(1 for op in ops if op.kind is OpKind.WRITE)
+    assert reads > 0 and writes > 0
+    assert sum(1 for op in ops if op.kind is OpKind.TXN) == 40
+
+
+def test_mix_d_uses_narrow_key_window():
+    wide = ycsb_workload("B", num_ops=1000)
+    narrow = ycsb_workload("D", num_ops=1000)
+    assert narrow.key_space < wide.key_space
+
+
+def test_persist_plumbs_through():
+    ops = list(ycsb_trace("A", num_ops=32, persist_every=8, seed=1))
+    assert sum(1 for op in ops if op.kind is OpKind.PERSIST) == 4
+
+
+def test_case_insensitive():
+    assert ycsb_workload("a").search_frac == 0.5
