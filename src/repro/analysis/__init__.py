@@ -1,0 +1,50 @@
+"""Protocol-aware static analysis for the ThyNVM reproduction.
+
+An AST-based analyzer with three rule families, run as ``repro lint``:
+
+* **determinism** — the simulator must be bit-reproducible (no wall
+  clock, no global RNG, no id() ordering, no raw set iteration on
+  simulator-decision paths);
+* **protocol** — the checkpointing protocol's transition tables must be
+  well-formed and match what the runtime validators enforce, and
+  BTT/PTT entry state may only change inside ``repro/core`` protocol
+  methods;
+* **api** — MemoryPort implementors must carry the full port surface,
+  and ``__all__`` declarations must stay truthful.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
+"""
+
+from .context import ModuleContext, load_module
+from .findings import Finding, Severity
+from .graphs import dead_states, extract_enum_members, \
+    extract_transition_table, reachable
+from .project import ProjectIndex, build_index
+from .registry import Rule, all_rules, get_rule, register
+from .report import render_json, render_rule_catalogue, render_text
+from .runner import AnalysisReport, LintConfig, iter_python_files, \
+    run_analysis
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "LintConfig",
+    "ModuleContext",
+    "ProjectIndex",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "build_index",
+    "dead_states",
+    "extract_enum_members",
+    "extract_transition_table",
+    "get_rule",
+    "iter_python_files",
+    "load_module",
+    "reachable",
+    "register",
+    "render_json",
+    "render_rule_catalogue",
+    "render_text",
+    "run_analysis",
+]

@@ -1,0 +1,137 @@
+"""Static extraction of protocol transition graphs.
+
+The checkpointing protocol declares its legal state changes as literal
+dict-of-sets tables (``ALLOWED_TRANSITIONS`` over ``ProtocolState`` in
+``core/versions.py``, ``PHASE_TRANSITIONS`` over ``Phase`` in
+``core/epoch.py``).  This module pulls those tables and the enum member
+lists straight out of the AST — no import, no execution — so the
+protocol rules (and the hypothesis property tests) can compare the
+*declared* graph against the *runtime* one and reason about
+reachability and dead states.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional
+
+TransitionGraph = Dict[str, FrozenSet[str]]
+
+
+def extract_enum_members(tree: ast.Module, class_name: str) -> List[str]:
+    """Member names of an ``enum.Enum`` subclass, in declaration order."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            members = []
+            for stmt in node.body:
+                if isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            members.append(target.id)
+            return members
+    return []
+
+
+def _attr_member(node: ast.AST, enum_name: str) -> Optional[str]:
+    """``ProtocolState.HOME`` -> ``"HOME"`` (None when not that shape)."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == enum_name):
+        return node.attr
+    return None
+
+
+def extract_transition_table(tree: ast.Module, table_name: str,
+                             enum_name: str) -> Optional[TransitionGraph]:
+    """Extract a module-level ``{Enum.A: {Enum.B, ...}, ...}`` literal.
+
+    Returns None when no assignment to ``table_name`` exists or it is
+    not a dict literal of the expected shape.  Keys or values that are
+    not ``enum_name`` attributes are silently skipped — the protocol
+    rule reports those as malformed entries separately via
+    :func:`table_literal_issues`.
+    """
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == table_name
+                   for t in node.targets):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return None
+        graph: Dict[str, FrozenSet[str]] = {}
+        for key, value in zip(node.value.keys, node.value.values):
+            source = _attr_member(key, enum_name)
+            if source is None:
+                continue
+            destinations = set()
+            if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+                for element in value.elts:
+                    member = _attr_member(element, enum_name)
+                    if member is not None:
+                        destinations.add(member)
+            graph[source] = frozenset(destinations)
+        return graph
+    return None
+
+
+def table_literal_issues(tree: ast.Module, table_name: str,
+                         enum_name: str) -> List[ast.AST]:
+    """AST nodes inside the table literal that are not ``Enum.MEMBER``."""
+    issues: List[ast.AST] = []
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == table_name
+                   for t in node.targets):
+            continue
+        if not isinstance(node.value, ast.Dict):
+            return [node]
+        for key, value in zip(node.value.keys, node.value.values):
+            if _attr_member(key, enum_name) is None:
+                issues.append(key)
+            if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+                for element in value.elts:
+                    if _attr_member(element, enum_name) is None:
+                        issues.append(element)
+            else:
+                issues.append(value)
+    return issues
+
+
+def reachable(graph: TransitionGraph, start: str) -> FrozenSet[str]:
+    """States reachable from ``start`` (inclusive) via declared edges."""
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        state = frontier.pop()
+        for nxt in sorted(graph.get(state, frozenset())):
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return frozenset(seen)
+
+
+def dead_states(graph: TransitionGraph, members: List[str]) -> List[str]:
+    """Members with an incoming edge but no outgoing edge.
+
+    Self-loops are implicit in the protocol (repeated writes, idle
+    epochs), so "dead" means: once entered, no *other* state is ever
+    legal again — the protocol would wedge there.
+    """
+    incoming = set()
+    for destinations in graph.values():
+        incoming.update(destinations)
+    return [m for m in members
+            if m in incoming and not graph.get(m)]
+
+
+def extract_assigned_member(tree: ast.Module, name: str,
+                            enum_name: str) -> Optional[str]:
+    """``INITIAL_PHASE = Phase.EXECUTING`` -> ``"EXECUTING"``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            if any(isinstance(t, ast.Name) and t.id == name
+                   for t in node.targets):
+                return _attr_member(node.value, enum_name)
+    return None

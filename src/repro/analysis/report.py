@@ -1,0 +1,38 @@
+"""Text and JSON rendering of an analysis report."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from .registry import all_rules
+from .runner import AnalysisReport
+
+
+def render_text(report: AnalysisReport) -> str:
+    lines: List[str] = [finding.render() for finding in report.findings]
+    lines.append(
+        f"{report.errors} error(s), {report.warnings} warning(s) "
+        f"in {report.files_scanned} file(s)")
+    return "\n".join(lines)
+
+
+def render_json(report: AnalysisReport) -> str:
+    payload = {
+        "findings": [finding.to_dict() for finding in report.findings],
+        "summary": {
+            "errors": report.errors,
+            "warnings": report.warnings,
+            "files_scanned": report.files_scanned,
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def render_rule_catalogue() -> str:
+    """Human-readable list of every registered rule."""
+    lines = []
+    for rule in all_rules():
+        lines.append(f"{rule.id:22s} [{rule.family}/{rule.severity.value}] "
+                     f"{rule.description}")
+    return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Built-in rule families.
+
+Importing this package registers every built-in rule with the
+registry.  Add a new family by creating a module here and importing it
+below; add a single rule by decorating a :class:`~repro.analysis.registry.Rule`
+subclass with :func:`~repro.analysis.registry.register` in the family
+module.
+"""
+
+from . import api, determinism, protocol
+
+__all__ = ["api", "determinism", "protocol"]

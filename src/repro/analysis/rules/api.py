@@ -1,0 +1,187 @@
+"""API-hygiene rules.
+
+* ``api-port-surface`` — every class that claims to be a memory system
+  (defines ``read_block``/``write_block``) must implement the full
+  :class:`~repro.port.MemoryPort` surface with compatible leading
+  parameters, so systems stay drop-in interchangeable in the harness.
+* ``api-all-exports`` — ``__all__`` must stay truthful: every listed
+  name must exist, no duplicates, and (as a warning) every public
+  definition/import in a module that declares ``__all__`` should be
+  listed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from ..findings import Finding, Severity
+from ..registry import Rule, register
+
+_NEUTRAL_BASES = frozenset({"object", "Protocol", "Generic", "ABC"})
+
+
+def _base_names(class_def: ast.ClassDef) -> Set[str]:
+    names = set()
+    for base in class_def.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+        elif isinstance(base, ast.Subscript):
+            value = base.value
+            if isinstance(value, ast.Name):
+                names.add(value.id)
+            elif isinstance(value, ast.Attribute):
+                names.add(value.attr)
+    return names
+
+
+@register
+class PortSurfaceRule(Rule):
+    id = "api-port-surface"
+    family = "api"
+    description = ("classes defining read_block/write_block must implement "
+                   "the full MemoryPort surface with compatible signatures")
+
+    def check(self, module, project, config) -> Iterator[Finding]:
+        spec = project.port_spec
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if node.name == "MemoryPort":
+                continue  # the protocol definition itself
+            bases = _base_names(node)
+            if "Protocol" in bases:
+                continue
+            methods: Dict[str, ast.FunctionDef] = {
+                stmt.name: stmt for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            defined_spec = [name for name in sorted(spec) if name in methods]
+            if not defined_spec:
+                continue
+            # Subclasses may inherit part of the surface; only root
+            # (base-less) classes must define everything themselves.
+            inherits = bool(bases - _NEUTRAL_BASES)
+            if not inherits:
+                missing = [name for name in sorted(spec)
+                           if name not in methods]
+                if missing:
+                    yield self.finding(
+                        module, node,
+                        f"class {node.name} implements part of the "
+                        f"MemoryPort surface but is missing "
+                        f"{', '.join(missing)}")
+            for name in defined_spec:
+                expected = spec[name]
+                func = methods[name]
+                params = tuple(a.arg for a in func.args.args
+                               if a.arg not in ("self", "cls"))
+                if params[:len(expected)] != tuple(expected):
+                    yield self.finding(
+                        module, func,
+                        f"{node.name}.{name} signature {params!r} does not "
+                        f"start with the MemoryPort parameters {expected!r}")
+
+
+def _module_level_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module level (descending into If/Try bodies)."""
+    bound: Set[str] = set()
+
+    def visit_block(statements) -> None:
+        for stmt in statements:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name):
+                            bound.add(name.id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name):
+                    bound.add(stmt.target.id)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name != "*":
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.If):
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+                visit_block(stmt.finalbody)
+                for handler in stmt.handlers:
+                    visit_block(handler.body)
+
+    visit_block(tree.body)
+    return bound
+
+
+def _find_all(tree: ast.Module) -> Optional[Tuple[ast.Assign, List[str]]]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__"
+                for t in node.targets):
+            if isinstance(node.value, (ast.List, ast.Tuple)):
+                names = [elt.value for elt in node.value.elts
+                         if isinstance(elt, ast.Constant)
+                         and isinstance(elt.value, str)]
+                return node, names
+            return node, []
+    return None
+
+
+def _public_definitions(tree: ast.Module, is_package_init: bool) -> Set[str]:
+    """Names a module visibly exports: public defs/classes, plus public
+    from-imports in package ``__init__`` modules (their whole point)."""
+    public: Set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            if not stmt.name.startswith("_"):
+                public.add(stmt.name)
+        elif is_package_init and isinstance(stmt, ast.ImportFrom):
+            for alias in stmt.names:
+                exported = alias.asname or alias.name
+                if exported != "*" and not exported.startswith("_"):
+                    public.add(exported)
+    return public
+
+
+@register
+class AllExportsRule(Rule):
+    id = "api-all-exports"
+    family = "api"
+    description = ("__all__ must list existing names exactly once and "
+                   "cover the module's public surface")
+
+    def check(self, module, project, config) -> Iterator[Finding]:
+        found = _find_all(module.tree)
+        if found is None:
+            return
+        node, names = found
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(module, node,
+                                   f"__all__ lists {name!r} twice")
+            seen.add(name)
+        bound = _module_level_bindings(module.tree)
+        for name in names:
+            if name not in bound:
+                yield self.finding(
+                    module, node,
+                    f"__all__ lists {name!r} but the module never binds it")
+        is_init = module.relpath.endswith("__init__.py")
+        public = _public_definitions(module.tree, is_init)
+        for name in sorted(public - seen):
+            yield self.finding(
+                module, node,
+                f"public name {name!r} is not listed in __all__",
+                severity=Severity.WARNING)

@@ -1,0 +1,293 @@
+"""Checkpoint-invariant checker.
+
+ThyNVM's correctness argument rests on a fixed version-transition
+discipline (three live versions per block: W_active, C_last, C_penult)
+and on persistent metadata that may only change under protocol control.
+These rules machine-check the parts of that argument that are visible
+statically:
+
+* ``proto-state-graph`` — the ``ALLOWED_TRANSITIONS`` table over
+  ``ProtocolState`` must be well-formed, fully reachable from HOME,
+  free of dead (wedging) states, and — for ``core/versions.py`` itself —
+  byte-identical to the graph ``validate_transition`` enforces at
+  runtime.
+* ``proto-phase-graph`` — same checks for the epoch pipeline's
+  ``Phase`` machine (``PHASE_TRANSITIONS`` in ``core/epoch.py``), plus:
+  every phase change must go through ``_set_phase`` (which validates),
+  and every ``_set_phase`` destination must be declared.
+* ``proto-entry-mutation`` — BlockEntry/PageEntry fields may only be
+  mutated from protocol methods inside ``repro/core``.
+* ``proto-table-mutation`` — BTT/PTT mutating calls (insert, remove,
+  create, mark_dirty, clear_dirty) are ``repro/core``-internal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from ..context import ModuleContext, attach_parents, enclosing_functions, \
+    is_method
+from ..findings import Finding
+from ..graphs import dead_states, extract_assigned_member, \
+    extract_enum_members, extract_transition_table, reachable, \
+    table_literal_issues
+from ..registry import Rule, register
+
+_ENTRY_MUTATORS = frozenset({"add", "discard", "remove", "clear",
+                             "update", "pop"})
+_TABLE_MUTATORS = frozenset({"insert", "remove", "create",
+                             "mark_dirty", "clear_dirty"})
+_TABLE_NAMES = frozenset({"btt", "ptt"})
+
+
+def _defines(tree: ast.Module, name: str) -> bool:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return True
+        if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in node.targets):
+            return True
+    return False
+
+
+def _graph_findings(rule: Rule, module: ModuleContext, enum_name: str,
+                    table_name: str, start: Optional[str]) -> Iterator[Finding]:
+    """Shared structural checks for a declared transition table."""
+    members = extract_enum_members(module.tree, enum_name)
+    graph = extract_transition_table(module.tree, table_name, enum_name)
+    if graph is None:
+        yield rule.finding(
+            module, module.tree,
+            f"{table_name} is not a literal dict of "
+            f"{enum_name}.MEMBER -> set of members")
+        return
+    for node in table_literal_issues(module.tree, table_name, enum_name):
+        yield rule.finding(
+            module, node,
+            f"{table_name} entry is not a plain {enum_name}.MEMBER literal")
+    member_set = set(members)
+    for source in sorted(graph):
+        if source not in member_set:
+            yield rule.finding(
+                module, module.tree,
+                f"{table_name} key {source!r} is not a {enum_name} member")
+        for dest in sorted(graph[source]):
+            if dest not in member_set:
+                yield rule.finding(
+                    module, module.tree,
+                    f"{table_name} destination {source} -> {dest!r} is not "
+                    f"a {enum_name} member")
+    if start is None and members:
+        start = members[0]
+    if start is not None and start in member_set:
+        reach = reachable(graph, start)
+        for member in members:
+            if member not in reach:
+                yield rule.finding(
+                    module, module.tree,
+                    f"{enum_name}.{member} is unreachable from "
+                    f"{enum_name}.{start} in {table_name}")
+    for member in dead_states(graph, members):
+        yield rule.finding(
+            module, module.tree,
+            f"{enum_name}.{member} is a dead state in {table_name}: "
+            f"it has incoming transitions but no way out")
+
+
+@register
+class StateGraphRule(Rule):
+    id = "proto-state-graph"
+    family = "protocol"
+    description = ("ALLOWED_TRANSITIONS must be well-formed, reachable, "
+                   "dead-state-free and identical to the runtime table")
+
+    def check(self, module, project, config) -> Iterator[Finding]:
+        if not (_defines(module.tree, "ProtocolState")
+                and _defines(module.tree, "ALLOWED_TRANSITIONS")):
+            return
+        yield from _graph_findings(self, module, "ProtocolState",
+                                   "ALLOWED_TRANSITIONS", "HOME")
+        if module.relpath.endswith("repro/core/versions.py"):
+            yield from self._runtime_drift(module)
+
+    def _runtime_drift(self, module) -> Iterator[Finding]:
+        """The statically-extracted graph must match what
+        validate_transition enforces at runtime (import-time table)."""
+        from repro.core import versions as runtime
+        static = extract_transition_table(module.tree, "ALLOWED_TRANSITIONS",
+                                          "ProtocolState")
+        dynamic = {
+            state.name: frozenset(dest.name for dest in dests)
+            for state, dests in runtime.ALLOWED_TRANSITIONS.items()
+        }
+        if static != dynamic:
+            only_static = sorted(set(static) - set(dynamic))
+            only_dynamic = sorted(set(dynamic) - set(static))
+            diffs = sorted(
+                key for key in set(static) & set(dynamic)
+                if static[key] != dynamic[key])
+            yield self.finding(
+                module, module.tree,
+                f"static ALLOWED_TRANSITIONS drifts from the runtime table "
+                f"(static-only keys {only_static}, runtime-only keys "
+                f"{only_dynamic}, differing keys {diffs})")
+        validates = any(
+            isinstance(node, ast.FunctionDef)
+            and node.name == "validate_transition"
+            and any(isinstance(sub, ast.Name)
+                    and sub.id == "ALLOWED_TRANSITIONS"
+                    for sub in ast.walk(node))
+            for node in module.tree.body)
+        if not validates:
+            yield self.finding(
+                module, module.tree,
+                "validate_transition does not consult ALLOWED_TRANSITIONS")
+
+
+@register
+class PhaseGraphRule(Rule):
+    id = "proto-phase-graph"
+    family = "protocol"
+    description = ("PHASE_TRANSITIONS must be reachable and dead-state-"
+                   "free; phase changes must go through _set_phase with "
+                   "declared destinations")
+
+    def check(self, module, project, config) -> Iterator[Finding]:
+        if not (_defines(module.tree, "Phase")
+                and _defines(module.tree, "PHASE_TRANSITIONS")):
+            return
+        start = extract_assigned_member(module.tree, "INITIAL_PHASE", "Phase")
+        yield from _graph_findings(self, module, "Phase",
+                                   "PHASE_TRANSITIONS", start)
+        graph = extract_transition_table(module.tree, "PHASE_TRANSITIONS",
+                                         "Phase")
+        declared_destinations: Set[str] = set()
+        if graph:
+            for dests in graph.values():
+                declared_destinations.update(dests)
+        attach_parents(module.tree)
+        for node in ast.walk(module.tree):
+            yield from self._check_assignment(module, node)
+            yield from self._check_set_phase(module, node,
+                                             declared_destinations)
+
+    def _check_assignment(self, module, node) -> Iterator[Finding]:
+        """Direct `<obj>.phase = Phase.X` bypasses validation."""
+        if not isinstance(node, ast.Assign):
+            return
+        for target in node.targets:
+            if not (isinstance(target, ast.Attribute)
+                    and target.attr == "phase"):
+                continue
+            functions = enclosing_functions(node)
+            allowed = any(
+                getattr(fn, "name", "") in ("__init__", "_set_phase")
+                for fn in functions)
+            if not allowed:
+                yield self.finding(
+                    module, node,
+                    "direct assignment to .phase bypasses "
+                    "validate_phase_transition; use _set_phase(...)")
+
+    def _check_set_phase(self, module, node,
+                         declared: Set[str]) -> Iterator[Finding]:
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "_set_phase"
+                and len(node.args) == 1):
+            return
+        arg = node.args[0]
+        if (isinstance(arg, ast.Attribute)
+                and isinstance(arg.value, ast.Name)
+                and arg.value.id == "Phase"):
+            if arg.attr not in declared:
+                yield self.finding(
+                    module, node,
+                    f"_set_phase(Phase.{arg.attr}) is not a declared "
+                    f"destination in PHASE_TRANSITIONS")
+
+
+@register
+class EntryMutationRule(Rule):
+    id = "proto-entry-mutation"
+    family = "protocol"
+    description = ("BlockEntry/PageEntry state may only change inside "
+                   "repro/core protocol methods")
+
+    def check(self, module, project, config) -> Iterator[Finding]:
+        attach_parents(module.tree)
+        in_core = module.in_any(config.core_prefixes)
+        fields = project.entry_fields
+        for node in ast.walk(module.tree):
+            site: Optional[ast.AST] = None
+            field_name = None
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and target.attr in fields
+                            and not self._receiver_is_self(target)):
+                        site, field_name = node, target.attr
+                        break
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _ENTRY_MUTATORS):
+                receiver = node.func.value
+                if (isinstance(receiver, ast.Attribute)
+                        and receiver.attr in fields
+                        and not self._receiver_is_self(receiver)):
+                    site, field_name = node, receiver.attr
+            if site is None:
+                continue
+            if not in_core:
+                yield self.finding(
+                    module, site,
+                    f"mutation of checkpoint metadata field "
+                    f"{field_name!r} outside repro/core")
+            elif not self._inside_protocol_method(site):
+                yield self.finding(
+                    module, site,
+                    f"mutation of checkpoint metadata field "
+                    f"{field_name!r} outside a protocol method "
+                    f"(module-level / free-function mutation)")
+
+    @staticmethod
+    def _receiver_is_self(attribute: ast.Attribute) -> bool:
+        value = attribute.value
+        return isinstance(value, ast.Name) and value.id == "self"
+
+    @staticmethod
+    def _inside_protocol_method(node: ast.AST) -> bool:
+        """In core, mutations must sit (possibly via closures) inside a
+        method of a class — the protocol objects' own machinery."""
+        return any(is_method(fn) for fn in enclosing_functions(node))
+
+
+@register
+class TableMutationRule(Rule):
+    id = "proto-table-mutation"
+    family = "protocol"
+    description = "BTT/PTT mutating calls are repro/core-internal"
+
+    def check(self, module, project, config) -> Iterator[Finding]:
+        if module.in_any(config.core_prefixes):
+            return
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _TABLE_MUTATORS):
+                continue
+            receiver = node.func.value
+            name = None
+            if isinstance(receiver, ast.Name):
+                name = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                name = receiver.attr
+            if name in _TABLE_NAMES:
+                yield self.finding(
+                    module, node,
+                    f"{name}.{node.func.attr}(...) mutates persistent "
+                    f"translation-table state outside repro/core")

@@ -5,6 +5,7 @@
     repro figures fig7 fig12
     repro trace record --workload sliding --ops 2000 -o sliding.trace
     repro trace run --system thynvm sliding.trace
+    repro lint src/ --strict
 
 Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.
@@ -14,7 +15,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+from pathlib import Path
 from typing import Iterable, Iterator, List, Optional
 
 from .config import SystemConfig
@@ -177,6 +180,27 @@ def cmd_trace(args: argparse.Namespace) -> int:
     raise SystemExit("trace: choose 'record' or 'run'")
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """`repro lint`: run the protocol-aware static analyzer."""
+    from .analysis import (render_json, render_rule_catalogue, render_text,
+                           run_analysis)
+    if args.list_rules:
+        print(render_rule_catalogue())
+        return 0
+    paths = args.paths or ["src"]
+    missing = [path for path in paths if not Path(path).exists()]
+    if missing:
+        # A typo'd path must not green-light a CI run.
+        print(f"lint: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    report = run_analysis(paths)
+    if args.json:
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return report.exit_code(strict=args.strict)
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="random",
                         help="random | streaming | sliding | kv-hash | "
@@ -230,13 +254,32 @@ def make_parser() -> argparse.ArgumentParser:
     _add_config_args(replay)
     replay.set_defaults(func=cmd_trace)
 
+    lint_parser = sub.add_parser(
+        "lint", help="protocol-aware static analysis (docs/ANALYSIS.md)")
+    lint_parser.add_argument("paths", nargs="*",
+                             help="files/directories to analyze (default src)")
+    lint_parser.add_argument("--json", action="store_true",
+                             help="machine-readable findings")
+    lint_parser.add_argument("--strict", action="store_true",
+                             help="warnings also fail the run")
+    lint_parser.add_argument("--list-rules", action="store_true",
+                             help="print the rule catalogue and exit")
+    lint_parser.set_defaults(func=cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Console-script entry point."""
     args = make_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early; the
+        # conventional silent exit (stderr may already be gone too).
+        devnull = open(os.devnull, "w")
+        os.dup2(devnull.fileno(), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

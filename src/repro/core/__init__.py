@@ -10,7 +10,8 @@ so it can sit below the cache hierarchy or be driven directly.
 from .archive import ArchivedCheckpoint, CheckpointArchive
 from .btt import BlockTranslationTable
 from .controller import ThyNVMController, ThyNVMPolicy
-from .epoch import EpochManager, Phase
+from .epoch import (EpochManager, INITIAL_PHASE, PHASE_TRANSITIONS, Phase,
+                    validate_phase_transition)
 from .metadata import BlockEntry, GcState, PageEntry
 from .ptt import PageTranslationTable
 from .regions import REGION_A, REGION_B, HardwareLayout
@@ -26,6 +27,9 @@ __all__ = [
     "ThyNVMPolicy",
     "EpochManager",
     "Phase",
+    "PHASE_TRANSITIONS",
+    "INITIAL_PHASE",
+    "validate_phase_transition",
     "BlockEntry",
     "PageEntry",
     "GcState",

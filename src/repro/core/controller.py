@@ -983,15 +983,57 @@ class ThyNVMController:
                                             True, Origin.MIGRATION, data=data)
 
     def _promote_page(self, page: int) -> None:
+        stable = self._promotion_region(page)
+        if stable is None:
+            return   # mixed-region references; try again at a later commit
         slot = self.layout.allocate_slot()
         if slot is None:
             return
-        pe = self.ptt.create(page, slot, REGION_B)
+        pe = self.ptt.create(page, slot, stable)
         if pe is None:
             self.layout.release_slot(slot)
             return
         self.stats.pages_promoted += 1
         self._assemble_page(pe)
+
+    def _promotion_region(self, page: int) -> Optional[int]:
+        """Initial stable region for a promotion, or None to defer.
+
+        The page's first checkpoint writes the full page image into the
+        complement of its initial stable region — and the per-page and
+        per-block region addresses alias.  The metadata snapshot that
+        committed *before* the promotion keeps referencing the page's
+        blocks at their old per-block regions until the first page
+        checkpoint commits, so that writeback must target the region
+        holding *none* of those committed copies or a crash mid-writeback
+        would corrupt the recovery image.  Declaring the region that
+        holds them all as the entry's initial stable region is also
+        functionally truthful: its page range is exactly the union of
+        the per-block copies (a freshly hot page has all blocks at
+        region A; an idle home page has them all at B).  Pages whose
+        committed copies straddle both regions have no safe writeback
+        target yet — defer those (at worst one commit, since blocks
+        written every epoch alternate regions together).
+        """
+        if page in self._evicted_pages:
+            return None   # fence-covered page copy still referenced
+        ref_a = ref_b = False
+        for block in self.addresses.blocks_in_page(page):
+            entry = self.btt.lookup(block)
+            if entry is not None:
+                if entry.coop_page is not None:
+                    continue   # committed reference goes via its page
+                region = entry.stable_region
+            else:
+                shadow = self._evicted_blocks.get(block)
+                region = shadow[0] if shadow is not None else REGION_B
+            if region == REGION_A:
+                ref_a = True
+            else:
+                ref_b = True
+        if ref_a and ref_b:
+            return None
+        return REGION_A if ref_a else REGION_B
 
     def _adopt_page(self, page: int) -> Optional[PageEntry]:
         """Page-only mode: adopt on first write, mid-epoch."""
@@ -1306,7 +1348,12 @@ class ThyNVMController:
         for block, entry in self.btt:
             if entry.block != block:
                 raise ProtocolError(f"BTT key/entry mismatch at {block}")
-            for epoch in entry.temp_epochs:
+            for epoch in sorted(entry.temp_epochs):
+                if epoch == ckpt:
+                    # The planner consumed this epoch's index slice; the
+                    # entry keeps the temp mark until the commit clears it
+                    # (that mark is what DRAM_CHECKPOINTING derives from).
+                    continue
                 if block not in self._temp_by_epoch.get(epoch, ()):
                     raise ProtocolError(
                         f"BTT temp {block}@{epoch} missing from index")
@@ -1328,7 +1375,7 @@ class ThyNVMController:
                     f"pages {slots[pe.dram_slot]} and {page} share DRAM "
                     f"slot {pe.dram_slot}")
             slots[pe.dram_slot] = page
-        for page in self._dirty_pages:
+        for page in sorted(self._dirty_pages):
             pe = self.ptt.lookup(page)
             if pe is None:
                 raise ProtocolError(f"dirty-page index has untracked {page}")

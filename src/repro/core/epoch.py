@@ -19,7 +19,7 @@ from __future__ import annotations
 import enum
 from typing import Callable, Optional
 
-from ..errors import SimulationError
+from ..errors import ProtocolError, SimulationError
 from ..sim.engine import Engine
 
 
@@ -29,6 +29,28 @@ class Phase(enum.Enum):
     EXECUTING = "executing"            # no checkpoint in flight
     ENDING = "ending"                  # CPU flush at the epoch boundary
     CHECKPOINTING = "checkpointing"    # previous epoch's ckpt overlaps execution
+
+
+INITIAL_PHASE = Phase.EXECUTING
+
+# The epoch pipeline's legal phase changes.  Like ALLOWED_TRANSITIONS
+# in versions.py this is a declared table, not documentation: _set_phase
+# enforces it at runtime and the `proto-phase-graph` lint rule checks
+# reachability and that every phase change in core/ goes through it.
+PHASE_TRANSITIONS = {
+    Phase.EXECUTING: {Phase.ENDING},          # an epoch end was requested
+    Phase.ENDING: {Phase.CHECKPOINTING},      # boundary flush initiated
+    Phase.CHECKPOINTING: {Phase.EXECUTING},   # checkpoint committed
+}
+
+
+def validate_phase_transition(old: Phase, new: Phase) -> None:
+    """Raise :class:`ProtocolError` if ``old -> new`` is illegal."""
+    if old is new:
+        return
+    if new not in PHASE_TRANSITIONS.get(old, set()):
+        raise ProtocolError(
+            f"illegal phase transition {old.value} -> {new.value}")
 
 
 class EpochManager:
@@ -41,7 +63,7 @@ class EpochManager:
         self._on_end = on_end
         self.active_epoch = 0
         self.ckpt_epoch: Optional[int] = None
-        self.phase = Phase.EXECUTING
+        self.phase = INITIAL_PHASE
         self._end_pending: Optional[str] = None
         self._started = False
         self._stopped = False
@@ -69,6 +91,11 @@ class EpochManager:
         """Stop generating epochs (end of a benchmark run or crash)."""
         self._stopped = True
 
+    def _set_phase(self, new: Phase) -> None:
+        """Move the pipeline to ``new``, enforcing PHASE_TRANSITIONS."""
+        validate_phase_transition(self.phase, new)
+        self.phase = new
+
     # --- ending an epoch ----------------------------------------------------
 
     def request_end(self, reason: str) -> None:
@@ -84,7 +111,7 @@ class EpochManager:
             if self._end_pending is None:
                 self._end_pending = reason
             return
-        self.phase = Phase.ENDING
+        self._set_phase(Phase.ENDING)
         self._on_end(reason)
 
     def execution_phase_done(self) -> None:
@@ -94,7 +121,7 @@ class EpochManager:
             raise SimulationError("execution_phase_done outside ENDING phase")
         self.ckpt_epoch = self.active_epoch
         self.active_epoch += 1
-        self.phase = Phase.CHECKPOINTING
+        self._set_phase(Phase.CHECKPOINTING)
         self._arm_timer()
 
     def checkpoint_committed(self) -> None:
@@ -102,7 +129,7 @@ class EpochManager:
         if self.phase is not Phase.CHECKPOINTING or self.ckpt_epoch is None:
             raise SimulationError("commit without a checkpoint in flight")
         self.ckpt_epoch = None
-        self.phase = Phase.EXECUTING
+        self._set_phase(Phase.EXECUTING)
         if self._end_pending is not None:
             reason, self._end_pending = self._end_pending, None
             self.request_end(reason)

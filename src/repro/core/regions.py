@@ -151,7 +151,7 @@ class HardwareLayout:
         """Rebuild the free pool around a known-allocated set (used when
         resuming after recovery: the recovered PTT dictates occupancy)."""
         in_use = set(in_use)
-        for slot in in_use:
+        for slot in sorted(in_use):
             if not 0 <= slot < self.slots_total:
                 raise SimulationError(f"recovered slot {slot} out of range")
         self._free_slots = [slot for slot in range(self.slots_total - 1, -1, -1)

@@ -1,0 +1,22 @@
+"""Seeded-bad fixture: the API-hygiene rules must fire here."""
+
+__all__ = ["HalfPort", "HalfPort", "missing_name"]
+
+
+class HalfPort:
+    """Claims the port surface but only implements half of it."""
+
+    def read_block(self, addr, origin, callback):
+        raise NotImplementedError
+
+
+class WrongSignature:
+    def read_block(self, address, cb):          # incompatible parameters
+        raise NotImplementedError
+
+    def write_block(self, addr, origin, data=None, callback=None):
+        raise NotImplementedError
+
+
+def public_helper():
+    return None

@@ -1,0 +1,11 @@
+"""Clean fixture: a full, signature-compatible MemoryPort implementor."""
+
+__all__ = ["FullPort"]
+
+
+class FullPort:
+    def read_block(self, addr, origin, callback):
+        raise NotImplementedError
+
+    def write_block(self, addr, origin, data=None, callback=None):
+        raise NotImplementedError

@@ -1,0 +1,50 @@
+"""Seeded-bad fixture: the protocol graph rules must fire here.
+
+ProtocolState has an unreachable member (LOST), a dead state (TRAP) and
+a malformed table key; the Phase machine has a validation-bypassing
+direct assignment and an undeclared _set_phase destination.
+"""
+
+import enum
+
+
+class ProtocolState(enum.Enum):
+    HOME = "home"
+    WORKING = "working"
+    LOST = "lost"        # never a destination: unreachable from HOME
+    TRAP = "trap"        # incoming edge, no way out: dead state
+
+
+ALLOWED_TRANSITIONS = {
+    ProtocolState.HOME: {ProtocolState.WORKING},
+    ProtocolState.WORKING: {ProtocolState.HOME, ProtocolState.TRAP},
+    ProtocolState.LOST: {ProtocolState.HOME},
+    "bogus": {ProtocolState.HOME},          # non-member key
+}
+
+
+class Phase(enum.Enum):
+    EXECUTING = "executing"
+    ENDING = "ending"
+
+
+INITIAL_PHASE = Phase.EXECUTING
+
+PHASE_TRANSITIONS = {
+    Phase.EXECUTING: {Phase.ENDING},
+    Phase.ENDING: {Phase.EXECUTING},
+}
+
+
+class Pipeline:
+    def __init__(self):
+        self.phase = INITIAL_PHASE
+
+    def _set_phase(self, new):
+        self.phase = new
+
+    def force(self):
+        self.phase = Phase.ENDING               # bypasses validation
+
+    def jump(self):
+        self._set_phase(Phase.CHECKPOINTING)    # undeclared destination

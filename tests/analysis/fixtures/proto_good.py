@@ -1,0 +1,38 @@
+"""Clean fixture: a well-formed miniature of the protocol machines."""
+
+import enum
+
+
+class ProtocolState(enum.Enum):
+    HOME = "home"
+    WORKING = "working"
+
+
+ALLOWED_TRANSITIONS = {
+    ProtocolState.HOME: {ProtocolState.WORKING},
+    ProtocolState.WORKING: {ProtocolState.HOME},
+}
+
+
+class Phase(enum.Enum):
+    EXECUTING = "executing"
+    ENDING = "ending"
+
+
+INITIAL_PHASE = Phase.EXECUTING
+
+PHASE_TRANSITIONS = {
+    Phase.EXECUTING: {Phase.ENDING},
+    Phase.ENDING: {Phase.EXECUTING},
+}
+
+
+class Pipeline:
+    def __init__(self):
+        self.phase = INITIAL_PHASE
+
+    def _set_phase(self, new):
+        self.phase = new
+
+    def advance(self):
+        self._set_phase(Phase.ENDING)

@@ -1,0 +1,18 @@
+"""Seeded-bad fixture: checkpoint metadata mutated outside protocol code.
+
+With the default core_prefixes this module is "outside repro/core" and
+every mutation below is flagged; with core_prefixes pulling it inside,
+only the free-function mutations are flagged (Manager.apply is a
+protocol method and allowed).
+"""
+
+
+def corrupt(entry, controller):
+    entry.pending_epoch = 7             # field assignment
+    entry.temp_epochs.add(3)            # set-mutator call on a field
+    controller.btt.insert(entry)        # translation-table mutation
+
+
+class Manager:
+    def apply(self, entry):
+        entry.gc_state = "forwarding"   # method mutation: fine inside core

@@ -1,0 +1,38 @@
+"""The API-hygiene rules flag the seeded-bad fixture and pass the
+clean one."""
+
+from repro.analysis import Severity
+
+from .conftest import lint_fixture, rules_fired
+
+
+def test_bad_fixture_trips_both_api_rules():
+    report = lint_fixture("api_bad.py")
+    assert rules_fired(report) == {"api-port-surface", "api-all-exports"}
+
+
+def test_port_surface_findings():
+    report = lint_fixture("api_bad.py", select=["api-port-surface"])
+    messages = [f.message for f in report.findings]
+    assert any("missing write_block" in m for m in messages)
+    assert any("does not start with the MemoryPort parameters" in m
+               for m in messages)
+
+
+def test_all_exports_findings():
+    report = lint_fixture("api_bad.py", select=["api-all-exports"])
+    messages = [f.message for f in report.findings]
+    assert any("twice" in m for m in messages)
+    assert any("never binds" in m for m in messages)
+    unlisted = [f for f in report.findings
+                if "not listed in __all__" in f.message]
+    assert unlisted
+    assert all(f.severity is Severity.WARNING for f in unlisted)
+    hard = [f for f in report.findings
+            if "not listed in __all__" not in f.message]
+    assert all(f.severity is Severity.ERROR for f in hard)
+
+
+def test_good_fixture_is_clean():
+    report = lint_fixture("api_good.py")
+    assert report.findings == []

@@ -1,0 +1,41 @@
+"""The checkpoint-invariant rules flag the seeded-bad fixtures and pass
+the clean miniature protocol."""
+
+from .conftest import lint_fixture, rules_fired
+
+
+def test_bad_graph_fixture_flags_everything():
+    report = lint_fixture("proto_bad.py")
+    messages = [f.message for f in report.findings]
+    assert any("unreachable" in m and "LOST" in m for m in messages)
+    assert any("dead state" in m and "TRAP" in m for m in messages)
+    assert any("not a plain ProtocolState" in m for m in messages)
+    assert any("bypasses" in m for m in messages)
+    assert any("not a declared destination" in m and "CHECKPOINTING" in m
+               for m in messages)
+    assert rules_fired(report) == {"proto-state-graph", "proto-phase-graph"}
+
+
+def test_good_graph_fixture_is_clean():
+    report = lint_fixture("proto_good.py")
+    assert report.findings == []
+
+
+def test_metadata_mutation_outside_core_is_flagged():
+    report = lint_fixture("proto_mutation.py")
+    assert rules_fired(report) == {"proto-entry-mutation",
+                                   "proto-table-mutation"}
+    outside = [f for f in report.findings
+               if "outside repro/core" in f.message]
+    # assignment, set mutator, btt.insert, and even the method mutation:
+    # outside core nothing may touch entry state.
+    assert len(outside) == 4
+
+
+def test_in_core_mutation_must_be_inside_a_method():
+    report = lint_fixture("proto_mutation.py", core_prefixes=("fixtures/",),
+                          select=["proto-entry-mutation"])
+    # The two free-function mutations are flagged; the method one is not.
+    assert len(report.findings) == 2
+    assert all("outside a protocol method" in f.message
+               for f in report.findings)
