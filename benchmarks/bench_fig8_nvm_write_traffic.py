@@ -20,12 +20,12 @@ def report(results) -> dict:
             rows.append([
                 workload, PRETTY_NAMES[system],
                 cells["cpu_MB"], cells["checkpoint_MB"],
-                cells["migration_MB"], cells["total_MB"],
+                cells["migration_MB"], cells["other_MB"], cells["total_MB"],
                 cells["ckpt_time_pct"],
             ])
     print()
     print(format_table(
-        ["workload", "system", "cpu MB", "ckpt MB", "migr MB",
+        ["workload", "system", "cpu MB", "ckpt MB", "migr MB", "other MB",
          "total MB", "ckpt time %"],
         rows,
         title="Figure 8: NVM write traffic and checkpointing delay"))
@@ -35,6 +35,13 @@ def report(results) -> dict:
 def test_fig8_nvm_write_traffic(benchmark, micro_results):
     series = benchmark.pedantic(report, args=(micro_results,),
                                 rounds=1, iterations=1)
+    # The breakdown must account for every NVM write block: with the
+    # `other` bucket the stacked bars always sum to the total.
+    for workload, by_system in micro_results.items():
+        for system, stats in by_system.items():
+            breakdown = stats.nvm_write_breakdown()
+            assert sum(breakdown.values()) == stats.nvm_write_blocks, \
+                f"{workload}/{system}: breakdown drops traffic"
     for workload, by_system in series.items():
         # ThyNVM overlaps checkpointing with execution: its stall share
         # must be far below the stop-the-world baselines'.

@@ -3,6 +3,7 @@
     repro run --system thynvm --workload random --ops 8000
     repro run --system journal --workload kv-hash --request-size 256
     repro figures fig7 fig12
+    repro bench fig7 --jobs 4 --json
     repro trace record --workload sliding --ops 2000 -o sliding.trace
     repro trace run --system thynvm sliding.trace
     repro lint src/ --strict
@@ -99,69 +100,151 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_figures(args: argparse.Namespace) -> int:
-    """`repro figures`: regenerate the requested paper figures."""
-    wanted = args.figures or list(FIGURES)
-    unknown = [f for f in wanted if f not in FIGURES]
-    if unknown:
-        raise SystemExit(f"unknown figure(s) {unknown}; pick from {FIGURES}")
+def _run_figures(wanted, ops, jobs=1, cache_dir=None, progress=None,
+                 emit=print):
+    """Run the requested figures; return the figure-keyed report dict.
+
+    ``emit`` receives the human-readable tables; pass a no-op to build
+    the report silently (``repro bench --json``).  The report contains
+    only deterministic simulation results (series + per-point summary
+    dicts) so ``--jobs N`` output is byte-identical to serial output.
+    """
+    report = {}
+
+    def point_summaries(results):
+        return {str(key): {system: stats.summary()
+                           for system, stats in by_system.items()}
+                for key, by_system in results.items()}
 
     if {"fig7", "fig8"} & set(wanted):
-        micro = experiments.run_micro(num_ops=args.ops or 12000)
+        micro = experiments.run_micro(num_ops=ops or 12000, jobs=jobs,
+                                      cache_dir=cache_dir, progress=progress)
         if "fig7" in wanted:
-            _print_series("Figure 7 (relative exec time)",
-                          experiments.fig7_exec_time(micro))
+            series = experiments.fig7_exec_time(micro)
+            report["fig7"] = {"series": series,
+                              "points": point_summaries(micro)}
+            _print_series("Figure 7 (relative exec time)", series, emit)
         if "fig8" in wanted:
-            for workload, systems in experiments.fig8_write_traffic(
-                    micro).items():
+            traffic = experiments.fig8_write_traffic(micro)
+            report["fig8"] = {"series": traffic,
+                              "points": point_summaries(micro)}
+            for workload, systems in traffic.items():
                 rows = [[s] + [round(v, 2) for v in cells.values()]
                         for s, cells in systems.items()]
-                print(format_table(
-                    ["system", "cpu MB", "ckpt MB", "migr MB", "total MB",
-                     "ckpt %"], rows, title=f"Figure 8: {workload}"))
-                print()
+                emit(format_table(
+                    ["system", "cpu MB", "ckpt MB", "migr MB", "other MB",
+                     "total MB", "ckpt %"], rows,
+                    title=f"Figure 8: {workload}"))
+                emit()
     if {"fig9", "fig10"} & set(wanted):
         for structure in ("hashtable", "rbtree"):
-            kv = experiments.run_kvstore(structure,
-                                         num_ops=args.ops or 1200)
+            kv = experiments.run_kvstore(structure, num_ops=ops or 1200,
+                                         jobs=jobs, cache_dir=cache_dir,
+                                         progress=progress)
             if "fig9" in wanted:
-                _print_series(f"Figure 9 ({structure}, KTPS)",
-                              experiments.fig9_throughput(kv))
+                series = experiments.fig9_throughput(kv)
+                report.setdefault("fig9", {})[structure] = {
+                    "series": series, "points": point_summaries(kv)}
+                _print_series(f"Figure 9 ({structure}, KTPS)", series, emit)
             if "fig10" in wanted:
-                _print_series(f"Figure 10 ({structure}, MB/s)",
-                              experiments.fig10_bandwidth(kv))
+                series = experiments.fig10_bandwidth(kv)
+                report.setdefault("fig10", {})[structure] = {
+                    "series": series, "points": point_summaries(kv)}
+                _print_series(f"Figure 10 ({structure}, MB/s)", series, emit)
     if "fig11" in wanted:
-        spec = experiments.run_spec(num_mem_ops=args.ops or 10000)
-        _print_series("Figure 11 (IPC norm. to Ideal DRAM)",
-                      experiments.fig11_normalized_ipc(spec))
+        spec = experiments.run_spec(num_mem_ops=ops or 10000, jobs=jobs,
+                                    cache_dir=cache_dir, progress=progress)
+        series = experiments.fig11_normalized_ipc(spec)
+        report["fig11"] = {"series": series,
+                           "points": point_summaries(spec)}
+        _print_series("Figure 11 (IPC norm. to Ideal DRAM)", series, emit)
     if "fig12" in wanted:
-        series = experiments.fig12_btt_sensitivity(num_ops=args.ops or 1500)
+        series = experiments.fig12_btt_sensitivity(num_ops=ops or 1500,
+                                                   jobs=jobs,
+                                                   cache_dir=cache_dir,
+                                                   progress=progress)
+        report["fig12"] = {"series": series}
         rows = [[size] + [round(v, 2) for v in cells.values()]
                 for size, cells in sorted(series.items())]
-        print(format_table(
+        emit(format_table(
             ["BTT entries", "KTPS", "NVM MB", "overflow epochs"], rows,
             title="Figure 12"))
-        print()
+        emit()
     if "table1" in wanted:
-        results = experiments.table1_tradeoff(num_ops=args.ops or 8000)
+        results = experiments.table1_tradeoff(num_ops=ops or 8000, jobs=jobs,
+                                              cache_dir=cache_dir,
+                                              progress=progress)
+        report["table1"] = {"series": results}
         rows = [[system] + [cells[k] for k in
                             ("cycles", "overhead_cycles",
                              "ckpt_stall_cycles", "metadata_peak_bytes")]
                 for system, cells in results.items()]
-        print(format_table(
+        emit(format_table(
             ["system", "cycles", "overhead", "stall", "metadata B"],
             rows, title="Table 1"))
-        print()
+        emit()
+    return report
+
+
+def _check_figures(figures) -> list:
+    wanted = figures or list(FIGURES)
+    unknown = [f for f in wanted if f not in FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figure(s) {unknown}; pick from {FIGURES}")
+    return wanted
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """`repro figures`: regenerate the requested paper figures."""
+    _run_figures(_check_figures(args.figures), args.ops)
     return 0
 
 
-def _print_series(title: str, series) -> None:
+def cmd_bench(args: argparse.Namespace) -> int:
+    """`repro bench`: figure sweeps through the parallel, cached harness.
+
+    Deterministic results go to stdout (tables, or ``--json``);
+    progress and timing observability go to stderr, so two runs with
+    different ``--jobs`` values can be diffed on stdout alone.
+    """
+    import time as _time
+
+    from .harness.parallel import DEFAULT_CACHE_DIR
+
+    wanted = _check_figures(args.figures)
+    cache_dir = None if args.no_cache else (args.cache_dir
+                                            or DEFAULT_CACHE_DIR)
+    counts = {"points": 0, "hits": 0}
+
+    def progress(event) -> None:
+        counts["points"] += 1
+        counts["hits"] += 1 if event.cached else 0
+        status = ("cache hit" if event.cached
+                  else f"{event.wall_seconds:6.2f}s")
+        print(f"[{event.index + 1:3d}/{event.total:3d}] "
+              f"{event.point.describe():44s} {status}", file=sys.stderr)
+
+    emit = (lambda *parts: None) if args.json else print
+    started = _time.perf_counter()
+    report = _run_figures(wanted, args.ops, jobs=args.jobs,
+                          cache_dir=cache_dir, progress=progress, emit=emit)
+    elapsed = _time.perf_counter() - started
+    print(f"bench: {counts['points']} points, {counts['hits']} cache hits, "
+          f"{elapsed:.2f}s wall (jobs={args.jobs}, "
+          f"cache={'off' if cache_dir is None else cache_dir})",
+          file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _print_series(title: str, series, emit=print) -> None:
     keys = sorted(series)
     systems = list(series[keys[0]].keys())
     rows = [[key] + [round(series[key][s], 3) for s in systems]
             for key in keys]
-    print(format_table(["x"] + systems, rows, title=title))
-    print()
+    emit(format_table(["x"] + systems, rows, title=title))
+    emit()
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -240,6 +323,24 @@ def make_parser() -> argparse.ArgumentParser:
                                 help=f"subset of {FIGURES}; default all")
     figures_parser.add_argument("--ops", type=int, default=None)
     figures_parser.set_defaults(func=cmd_figures)
+
+    bench_parser = sub.add_parser(
+        "bench", help="figure sweeps via the parallel, cached harness "
+                      "(docs/HARNESS.md)")
+    bench_parser.add_argument("figures", nargs="*",
+                              help=f"subset of {FIGURES}; default all")
+    bench_parser.add_argument("--ops", type=int, default=None)
+    bench_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes (1 = serial fallback, "
+                                   "0 = one per CPU)")
+    bench_parser.add_argument("--json", action="store_true",
+                              help="machine-readable report on stdout")
+    bench_parser.add_argument("--cache-dir", default=None,
+                              help="result cache directory "
+                                   "(default .repro-cache)")
+    bench_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the on-disk result cache")
+    bench_parser.set_defaults(func=cmd_bench)
 
     trace_parser = sub.add_parser("trace", help="record/replay trace files")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",

@@ -8,18 +8,23 @@ paper-vs-measured comparison.
 ``scale`` shrinks or grows every run proportionally (trace length),
 so the full suite can execute in minutes on a laptop while keeping the
 checkpoint-work-to-execution-work ratio that drives the results.
+
+Every runner declares its full ``(system, workload, config)`` point
+list up front and submits it through :mod:`repro.harness.parallel`:
+``jobs=1`` (the default) runs serially, ``jobs=N`` fans the same list
+over N worker processes, and ``cache_dir`` reuses finished points from
+disk — all three produce identical results (see docs/HARNESS.md).
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterable, List, Optional
 
 from ..config import SystemConfig
 from ..stats.collector import StatsCollector
-from ..workloads.kvstore.workload import KVWorkload, kv_trace
-from ..workloads.micro import random_trace, sliding_trace, streaming_trace
-from ..workloads.spec import SPEC_MODELS, spec_trace
-from .runner import run_workload
+from ..workloads.tracespec import TraceSpec, kv_spec, micro_spec, spec_cpu_spec
+from .parallel import ProgressFn, RunPoint, run_points
 
 MICRO_WORKLOADS = ("Random", "Streaming", "Sliding")
 COMPARED_SYSTEMS = ("ideal_dram", "ideal_nvm", "journal", "shadow", "thynvm")
@@ -32,29 +37,29 @@ def experiment_config(**overrides) -> SystemConfig:
     return SystemConfig(**overrides)
 
 
-def _micro_trace(name: str, num_ops: int, seed: int = 1):
-    if name == "Random":
-        return random_trace(MICRO_FOOTPRINT, num_ops, seed=seed)
-    if name == "Streaming":
-        return streaming_trace(MICRO_FOOTPRINT, num_ops, seed=seed)
-    if name == "Sliding":
-        return sliding_trace(MICRO_FOOTPRINT, num_ops, seed=seed)
-    raise ValueError(f"unknown micro workload {name!r}")
+def _micro_spec(name: str, num_ops: int, seed: int = 1) -> TraceSpec:
+    if name not in MICRO_WORKLOADS:
+        raise ValueError(f"unknown micro workload {name!r}")
+    return micro_spec(name.lower(), MICRO_FOOTPRINT, num_ops, seed=seed)
 
 
 def run_micro(systems: Iterable[str] = COMPARED_SYSTEMS,
               num_ops: int = 16000,
               config: Optional[SystemConfig] = None,
+              jobs: int = 1,
+              cache_dir: Optional[os.PathLike] = None,
+              progress: Optional[ProgressFn] = None,
               ) -> Dict[str, Dict[str, StatsCollector]]:
     """All micro-benchmarks on all systems (Figs. 7 and 8)."""
     config = config if config is not None else experiment_config()
-    results: Dict[str, Dict[str, StatsCollector]] = {}
-    for workload in MICRO_WORKLOADS:
-        results[workload] = {}
-        for system in systems:
-            run = run_workload(system, _micro_trace(workload, num_ops), config)
-            results[workload][system] = run.stats
-    return results
+    systems = tuple(systems)
+    points = [RunPoint(system=system, trace=_micro_spec(workload, num_ops),
+                       config=config, label=f"{workload}/{system}")
+              for workload in MICRO_WORKLOADS for system in systems]
+    stats = iter(run_points(points, jobs=jobs, cache_dir=cache_dir,
+                            progress=progress))
+    return {workload: {system: next(stats).stats for system in systems}
+            for workload in MICRO_WORKLOADS}
 
 
 def fig7_exec_time(results: Dict[str, Dict[str, StatsCollector]]
@@ -79,10 +84,12 @@ def fig8_write_traffic(results: Dict[str, Dict[str, StatsCollector]]
             if system.startswith("ideal"):
                 continue
             breakdown = stats.nvm_write_breakdown()
+            to_mb = stats.block_bytes / (1 << 20)
             series[workload][system] = {
-                "cpu_MB": breakdown["cpu"] * stats.block_bytes / (1 << 20),
-                "checkpoint_MB": breakdown["checkpoint"] * stats.block_bytes / (1 << 20),
-                "migration_MB": breakdown["migration"] * stats.block_bytes / (1 << 20),
+                "cpu_MB": breakdown["cpu"] * to_mb,
+                "checkpoint_MB": breakdown["checkpoint"] * to_mb,
+                "migration_MB": breakdown["migration"] * to_mb,
+                "other_MB": breakdown["other"] * to_mb,
                 "total_MB": stats.nvm_write_bytes / (1 << 20),
                 "ckpt_time_pct": 100 * stats.checkpoint_stall_fraction,
             }
@@ -94,24 +101,31 @@ def run_kvstore(structure: str,
                 request_sizes: Iterable[int] = REQUEST_SIZES,
                 num_ops: int = 1500,
                 config: Optional[SystemConfig] = None,
+                jobs: int = 1,
+                cache_dir: Optional[os.PathLike] = None,
+                progress: Optional[ProgressFn] = None,
                 ) -> Dict[int, Dict[str, StatsCollector]]:
     """Key-value-store sweep over request sizes (Figs. 9 and 10)."""
     config = config if config is not None else experiment_config()
-    results: Dict[int, Dict[str, StatsCollector]] = {}
+    systems = tuple(systems)
+    request_sizes = tuple(request_sizes)
+    points: List[RunPoint] = []
     for size in request_sizes:
         # A large resident store spreads entries over many pages, so
         # sparse updates dirty pages sparsely — the regime where shadow
         # paging's full-page copies hurt (paper §5.3).  The preload is
         # capped so the biggest request sizes still fit the heap.
         preload = min(2500, (3 * 1024 * 1024) // (size + 48))
-        results[size] = {}
-        for system in systems:
-            workload = KVWorkload(structure=structure, request_size=size,
-                                  num_ops=num_ops, preload=preload,
-                                  key_space=16384)
-            run = run_workload(system, kv_trace(workload), config)
-            results[size][system] = run.stats
-    return results
+        trace = kv_spec(structure=structure, request_size=size,
+                        num_ops=num_ops, preload=preload, key_space=16384)
+        points.extend(
+            RunPoint(system=system, trace=trace, config=config,
+                     label=f"{structure}/{size}B/{system}")
+            for system in systems)
+    stats = iter(run_points(points, jobs=jobs, cache_dir=cache_dir,
+                            progress=progress))
+    return {size: {system: next(stats).stats for system in systems}
+            for size in request_sizes}
 
 
 def fig9_throughput(results: Dict[int, Dict[str, StatsCollector]]
@@ -147,6 +161,9 @@ def run_spec(systems: Iterable[str] = ("ideal_dram", "ideal_nvm", "thynvm"),
              num_mem_ops: int = 12000,
              config: Optional[SystemConfig] = None,
              benchmarks: Optional[List[str]] = None,
+             jobs: int = 1,
+             cache_dir: Optional[os.PathLike] = None,
+             progress: Optional[ProgressFn] = None,
              ) -> Dict[str, Dict[str, StatsCollector]]:
     """SPEC CPU2006 models on the Fig. 11 systems.
 
@@ -158,15 +175,17 @@ def run_spec(systems: Iterable[str] = ("ideal_dram", "ideal_nvm", "thynvm"),
     if config is None:
         from ..units import ms_to_cycles
         config = experiment_config(epoch_cycles=ms_to_cycles(1))
+    from ..workloads.spec import SPEC_MODELS
     names = benchmarks if benchmarks is not None else list(SPEC_MODELS)
-    results: Dict[str, Dict[str, StatsCollector]] = {}
-    for name in names:
-        model = SPEC_MODELS[name]
-        results[name] = {}
-        for system in systems:
-            run = run_workload(system, spec_trace(model, num_mem_ops), config)
-            results[name][system] = run.stats
-    return results
+    systems = tuple(systems)
+    points = [RunPoint(system=system,
+                       trace=spec_cpu_spec(name, num_mem_ops),
+                       config=config, label=f"{name}/{system}")
+              for name in names for system in systems]
+    stats = iter(run_points(points, jobs=jobs, cache_dir=cache_dir,
+                            progress=progress))
+    return {name: {system: next(stats).stats for system in systems}
+            for name in names}
 
 
 def fig11_normalized_ipc(results: Dict[str, Dict[str, StatsCollector]]
@@ -185,25 +204,37 @@ def fig12_btt_sensitivity(btt_sizes: Iterable[int] = (256, 512, 1024, 2048,
                                                       4096, 8192),
                           num_ops: int = 1500,
                           config: Optional[SystemConfig] = None,
+                          jobs: int = 1,
+                          cache_dir: Optional[os.PathLike] = None,
+                          progress: Optional[ProgressFn] = None,
                           ) -> Dict[int, Dict[str, float]]:
     """Fig. 12: hash-table KV store vs BTT size (throughput + traffic)."""
     base = config if config is not None else experiment_config()
+    btt_sizes = tuple(btt_sizes)
+    trace = kv_spec(structure="hashtable", request_size=64,
+                    num_ops=num_ops, preload=max(200, num_ops // 3))
+    points = [RunPoint(system="thynvm", trace=trace,
+                       config=base.with_overrides(btt_entries=btt_entries),
+                       label=f"btt={btt_entries}")
+              for btt_entries in btt_sizes]
+    ran = run_points(points, jobs=jobs, cache_dir=cache_dir,
+                     progress=progress)
     results: Dict[int, Dict[str, float]] = {}
-    for btt_entries in btt_sizes:
-        cfg = base.with_overrides(btt_entries=btt_entries)
-        workload = KVWorkload(structure="hashtable", request_size=64,
-                              num_ops=num_ops, preload=max(200, num_ops // 3))
-        run = run_workload("thynvm", kv_trace(workload), cfg)
+    for btt_entries, result in zip(btt_sizes, ran):
+        stats = result.stats
         results[btt_entries] = {
-            "throughput_ktps": run.stats.throughput_tps / 1000,
-            "nvm_write_MB": run.stats.nvm_write_bytes / (1 << 20),
-            "epochs_forced_by_overflow": run.stats.epochs_forced_by_overflow,
+            "throughput_ktps": stats.throughput_tps / 1000,
+            "nvm_write_MB": stats.nvm_write_bytes / (1 << 20),
+            "epochs_forced_by_overflow": stats.epochs_forced_by_overflow,
         }
     return results
 
 
 def table1_tradeoff(num_ops: int = 8000,
                     config: Optional[SystemConfig] = None,
+                    jobs: int = 1,
+                    cache_dir: Optional[os.PathLike] = None,
+                    progress: Optional[ProgressFn] = None,
                     ) -> Dict[str, Dict[str, float]]:
     """Table 1 / §1 claims: uniform-granularity ablations vs ThyNVM.
 
@@ -214,13 +245,19 @@ def table1_tradeoff(num_ops: int = 8000,
     actually exercises both granularities.
     """
     config = config if config is not None else experiment_config()
-    trace_args = (2 * 1024 * 1024, num_ops)
+    trace = micro_spec("sliding", 2 * 1024 * 1024, num_ops)
+    systems = ("ideal_dram", "thynvm", "thynvm_block_only",
+               "thynvm_page_only")
+    points = [RunPoint(system=system, trace=trace, config=config,
+                       label=f"table1/{system}")
+              for system in systems]
+    ran = run_points(points, jobs=jobs, cache_dir=cache_dir,
+                     progress=progress)
+    by_system = {result.point.system: result.stats for result in ran}
+    base_cycles = by_system["ideal_dram"].cycles
     results: Dict[str, Dict[str, float]] = {}
-    baseline = run_workload("ideal_dram", sliding_trace(*trace_args), config)
-    base_cycles = baseline.stats.cycles
-    for system in ("thynvm", "thynvm_block_only", "thynvm_page_only"):
-        run = run_workload(system, sliding_trace(*trace_args), config)
-        stats = run.stats
+    for system in systems[1:]:
+        stats = by_system[system]
         metadata_bytes = (stats.btt_peak_entries * config.btt_entry_bytes
                           + stats.ptt_peak_entries * config.ptt_entry_bytes)
         results[system] = {

@@ -53,7 +53,7 @@ def execute(system: SimulatedSystem, trace: Iterable[Op],
         system.stats.end_cycle = system.engine.now
         system.memsys.stop()   # stop the epoch timers so the engine idles
 
-    per_core = traces if traces is not None else [trace]
+    per_core = list(traces) if traces is not None else [trace]
     if len(per_core) > len(system.cores):
         raise SimulationError(
             f"{len(per_core)} traces for {len(system.cores)} cores")
@@ -65,20 +65,31 @@ def execute(system: SimulatedSystem, trace: Iterable[Op],
             system.memsys.drain(on_drained)
 
     system.memsys.start()
+    if remaining["n"] == 0:
+        # A zero-work run is legitimate: with no traces there is no
+        # on_trace_finished to fire, so start the drain directly rather
+        # than reporting a wedged engine.
+        system.memsys.drain(on_drained)
     for core, core_trace in zip(system.cores, per_core):
+        # iter() also covers the all-empty case: an exhausted trace
+        # finishes at the core's first step and still counts down.
         core.run_trace(iter(core_trace), on_trace_finished)
     system.engine.run_until_idle(max_events=max_events)
 
     if not done["drained"]:
+        core_states = ", ".join(
+            f"core{i} {'stalled' if core.stalled else 'running'}"
+            for i, core in enumerate(system.cores))
         raise SimulationError(
             f"system {system.name!r} wedged: engine idle but drain "
-            f"incomplete (core stalled={system.core.stalled})")
+            f"incomplete ({core_states})")
     return RunResult(system=system.name, stats=system.stats, finished=True)
 
 
 def run_workload(system_name: str, trace: Iterable[Op],
                  config: SystemConfig,
-                 policy: Optional[object] = None) -> RunResult:
+                 policy: Optional[object] = None,
+                 max_events: int = 200_000_000) -> RunResult:
     """Build a system, run a trace, return the results."""
     system = build_system(system_name, config, policy=policy)
-    return execute(system, trace)
+    return execute(system, trace, max_events=max_events)

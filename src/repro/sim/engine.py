@@ -27,12 +27,20 @@ class Engine:
 
     def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if not isinstance(delay, int) or isinstance(delay, bool):
+            raise SimulationError(
+                f"delay must be an integer cycle count, got "
+                f"{type(delay).__name__} ({delay!r})")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         return self.schedule_at(self.now + delay, callback)
 
     def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` at absolute cycle ``time``."""
+        if not isinstance(time, int) or isinstance(time, bool):
+            raise SimulationError(
+                f"event time must be an integer cycle count, got "
+                f"{type(time).__name__} ({time!r})")
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}")
@@ -84,8 +92,13 @@ class Engine:
 
     @property
     def pending_events(self) -> int:
-        """Number of (possibly cancelled) events still queued."""
-        return len(self._queue)
+        """Number of live (non-cancelled) events still queued.
+
+        Cancelled events stay in the heap until popped, but they will
+        never fire; counting them would make backpressure heuristics
+        see dead weight.
+        """
+        return sum(1 for event in self._queue if not event.cancelled)
 
     @property
     def events_fired(self) -> int:

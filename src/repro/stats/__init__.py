@@ -3,5 +3,7 @@
 from .collector import StatsCollector
 from .counters import CounterGroup
 from .histogram import Histogram
+from .summary import stats_from_dict, stats_to_dict
 
-__all__ = ["StatsCollector", "CounterGroup", "Histogram"]
+__all__ = ["StatsCollector", "CounterGroup", "Histogram",
+           "stats_from_dict", "stats_to_dict"]

@@ -11,6 +11,10 @@
 
 from .micro import random_trace, sliding_trace, streaming_trace
 from .spec import SPEC_MODELS, spec_trace
+from .tracespec import (TraceSpec, kv_spec, micro_spec, spec_cpu_spec,
+                        tracefile_spec, ycsb_spec)
 
 __all__ = ["random_trace", "streaming_trace", "sliding_trace",
-           "SPEC_MODELS", "spec_trace"]
+           "SPEC_MODELS", "spec_trace",
+           "TraceSpec", "micro_spec", "kv_spec", "spec_cpu_spec",
+           "ycsb_spec", "tracefile_spec"]

@@ -4,8 +4,8 @@ import pytest
 
 from repro.config import small_test_config
 from repro.cpu.trace import TraceBuilder
-from repro.errors import ConfigError
-from repro.harness.runner import run_workload
+from repro.errors import ConfigError, SimulationError
+from repro.harness.runner import execute, run_workload
 from repro.harness.systems import SYSTEM_NAMES, build_system
 from repro.harness.tables import format_table, geometric_mean, normalize
 
@@ -29,6 +29,37 @@ def test_every_system_runs_a_trace(name):
 def test_unknown_system_rejected():
     with pytest.raises(ConfigError):
         build_system("nonsense", small_test_config())
+
+
+def test_execute_with_no_traces_is_a_valid_run():
+    """A zero-work run must drain and finish, not report a wedged engine."""
+    system = build_system("thynvm", small_test_config())
+    result = execute(system, iter([]), traces=[])
+    assert result.finished
+    assert result.stats.instructions == 0
+
+
+def test_execute_with_all_empty_traces_finishes():
+    system = build_system("ideal_dram", small_test_config())
+    result = execute(system, iter([]), traces=[iter([])])
+    assert result.finished
+    assert result.stats.instructions == 0
+
+
+def test_execute_rejects_more_traces_than_cores():
+    system = build_system("ideal_dram", small_test_config())
+    with pytest.raises(SimulationError):
+        execute(system, iter([]), traces=[small_trace(), small_trace()])
+
+
+def test_wedged_run_reports_every_core():
+    """The wedge diagnostic must name each core's stall state."""
+    system = build_system("ideal_dram", small_test_config(num_cores=2))
+    system.memsys.drain = lambda on_done: None   # swallow the drain
+    with pytest.raises(SimulationError) as excinfo:
+        execute(system, iter([]), traces=[small_trace(), small_trace()])
+    message = str(excinfo.value)
+    assert "core0" in message and "core1" in message
 
 
 def test_runs_are_deterministic():

@@ -94,6 +94,31 @@ def test_max_events_cap():
         engine.run_until_idle(max_events=100)
 
 
+@pytest.mark.parametrize("delay", [1.0, 2.5, True])
+def test_schedule_rejects_non_integer_delay(delay):
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(delay, lambda: None)
+
+
+@pytest.mark.parametrize("time", [10.0, 0.5, False])
+def test_schedule_at_rejects_non_integer_time(time):
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(time, lambda: None)
+
+
+def test_pending_events_excludes_cancelled():
+    engine = Engine()
+    kept = engine.schedule(10, lambda: None)
+    doomed = engine.schedule(20, lambda: None)
+    assert engine.pending_events == 2
+    doomed.cancel()
+    assert engine.pending_events == 1
+    kept.cancel()
+    assert engine.pending_events == 0
+
+
 def test_events_fired_counter():
     engine = Engine()
     for _ in range(4):

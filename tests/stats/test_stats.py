@@ -73,10 +73,22 @@ def test_collector_traffic_breakdown():
     stats.record_device_access("nvm", True, "migration")
     stats.record_device_access("dram", True, "cpu")
     breakdown = stats.nvm_write_breakdown()
-    assert breakdown == {"cpu": 2, "checkpoint": 2, "migration": 1}
+    assert breakdown == {"cpu": 2, "checkpoint": 2, "migration": 1,
+                         "other": 0}
     assert stats.nvm_write_blocks == 5
     assert stats.nvm_write_bytes == 5 * 64
     assert stats.write_latency.count == 1
+
+
+def test_collector_breakdown_other_bucket_sums_to_total():
+    """Origins outside the Fig. 8 categories must not be dropped."""
+    stats = StatsCollector(block_bytes=64)
+    stats.record_device_access("nvm", True, "cpu")
+    stats.record_device_access("nvm", True, "recovery")
+    stats.record_device_access("nvm", True, "recovery")
+    breakdown = stats.nvm_write_breakdown()
+    assert breakdown["other"] == 2
+    assert sum(breakdown.values()) == stats.nvm_write_blocks == 3
 
 
 def test_collector_ckpt_stall_fraction():

@@ -1,0 +1,52 @@
+"""Round-trip exactness tests for the stats snapshot (summary module)."""
+
+import json
+
+from repro.config import small_test_config
+from repro.harness.runner import run_workload
+from repro.stats.collector import StatsCollector
+from repro.stats.summary import stats_from_dict, stats_to_dict
+from repro.workloads.micro import random_trace
+
+
+def assert_collectors_equal(a: StatsCollector, b: StatsCollector) -> None:
+    assert stats_to_dict(a) == stats_to_dict(b)
+    # The derived views figure code consumes must match exactly too.
+    assert a.summary() == b.summary()
+    assert a.nvm_write_breakdown() == b.nvm_write_breakdown()
+
+
+def test_empty_collector_round_trips():
+    stats = StatsCollector(block_bytes=64)
+    assert_collectors_equal(stats, stats_from_dict(stats_to_dict(stats)))
+
+
+def test_real_run_round_trips_exactly():
+    result = run_workload("thynvm", random_trace(64 * 1024, 400, seed=1),
+                          small_test_config())
+    restored = stats_from_dict(stats_to_dict(result.stats))
+    assert_collectors_equal(result.stats, restored)
+    assert restored.cycles == result.stats.cycles
+    assert restored.ipc == result.stats.ipc
+    assert restored.nvm_write_blocks == result.stats.nvm_write_blocks
+
+
+def test_snapshot_survives_json():
+    """The cache stores snapshots as JSON; that round trip must be exact."""
+    result = run_workload("journal", random_trace(64 * 1024, 300, seed=2),
+                          small_test_config())
+    snapshot = stats_to_dict(result.stats)
+    rehydrated = json.loads(json.dumps(snapshot))
+    assert_collectors_equal(result.stats, stats_from_dict(rehydrated))
+
+
+def test_histograms_restore_bucket_exact():
+    stats = StatsCollector(block_bytes=64)
+    for latency in (1, 5, 5, 120, 4096):
+        stats.read_latency.record(latency)
+    restored = stats_from_dict(stats_to_dict(stats))
+    assert (restored.read_latency.bucket_counts()
+            == stats.read_latency.bucket_counts())
+    assert restored.read_latency.count == stats.read_latency.count
+    assert restored.read_latency.min == 1
+    assert restored.read_latency.max == 4096
