@@ -10,23 +10,33 @@ An AST-based analyzer with three rule families, run as ``repro lint``:
   BTT/PTT entry state may only change inside ``repro/core`` protocol
   methods;
 * **api** — MemoryPort implementors must carry the full port surface,
-  and ``__all__`` declarations must stay truthful.
+  and ``__all__`` declarations must stay truthful;
+* **persist** — the §4.4 persist-ordering contract: commits dominated
+  by fences over outstanding durable writes, immutable committed
+  snapshots, no table mutation under an in-flight table persist
+  (backed by the interprocedural effect graph in ``effects.py``);
+* **race** — same-cycle event handlers must not write the same
+  attribute unless explicitly sequenced (heap-insertion-order hazard).
 
 See ``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
 """
 
 from .context import ModuleContext, load_module
+from .effects import Effect, EffectGraph
 from .findings import Finding, Severity
 from .graphs import dead_states, extract_enum_members, \
     extract_transition_table, reachable
 from .project import ProjectIndex, build_index
 from .registry import Rule, all_rules, get_rule, register
-from .report import render_json, render_rule_catalogue, render_text
+from .report import render_github, render_json, render_rule_catalogue, \
+    render_rule_explain, render_text
 from .runner import AnalysisReport, LintConfig, iter_python_files, \
     run_analysis
 
 __all__ = [
     "AnalysisReport",
+    "Effect",
+    "EffectGraph",
     "Finding",
     "LintConfig",
     "ModuleContext",
@@ -43,8 +53,10 @@ __all__ = [
     "load_module",
     "reachable",
     "register",
+    "render_github",
     "render_json",
     "render_rule_catalogue",
+    "render_rule_explain",
     "render_text",
     "run_analysis",
 ]

@@ -1,0 +1,121 @@
+"""Incremental lint cache: skip re-analysis of unchanged files.
+
+Reuses the harness's shared on-disk cache primitives
+(:mod:`repro.diskcache` — the same machinery behind the PR-3 sweep
+cache) to store one entry per analyzed file under
+``.repro-cache/lint/``.  An entry is valid only while *everything* its
+findings could depend on is unchanged; the key therefore digests:
+
+* the file's own content (sha256) and its display path,
+* the **rule-set version** — a digest over every source file of the
+  ``repro.analysis`` package, so editing any rule, the runner, or this
+  module invalidates the whole cache,
+* the **cross-module facts** the rules consume: the
+  :class:`~repro.analysis.project.ProjectIndex` aggregates and the full
+  :meth:`~repro.analysis.effects.EffectGraph.facts_material`
+  serialisation.  Editing one module invalidates exactly the files
+  whose cross-module view changed — on an unchanged tree a warm run
+  re-analyzes nothing, after a local edit it re-analyzes the edited
+  file plus any file whose interprocedural facts shifted,
+* the :class:`~repro.analysis.runner.LintConfig` (scopes, suppressions
+  and rule selection are all part of ``repr(config)``).
+
+Findings are cached *after* inline/path suppression filtering — inline
+comments live in the file content and path suppressions in the config,
+so both are covered by the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from .. import diskcache
+from .findings import Finding, Severity
+
+if TYPE_CHECKING:
+    from .project import ProjectIndex
+    from .runner import LintConfig
+
+DEFAULT_LINT_CACHE_DIR = ".repro-cache/lint"
+_CACHE_FORMAT = 1
+
+_ruleset_version_cache: Dict[str, str] = {}
+
+
+def ruleset_version() -> str:
+    """Digest of every ``repro.analysis`` source file (once/process)."""
+    cached = _ruleset_version_cache.get("digest")
+    if cached is not None:
+        return cached
+    package_root = Path(__file__).resolve().parent
+    material = hashlib.sha256()
+    for path in sorted(package_root.rglob("*.py")):
+        material.update(str(path.relative_to(package_root)).encode())
+        material.update(b"\0")
+        material.update(path.read_bytes())
+        material.update(b"\0")
+    version = material.hexdigest()
+    _ruleset_version_cache["digest"] = version
+    return version
+
+
+def file_sha(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def facts_digest(index: ProjectIndex, config: LintConfig) -> str:
+    """Digest of every cross-module input to a single file's findings."""
+    effects = getattr(index, "effects", None)
+    return diskcache.digest(
+        f"set_attributes={sorted(index.set_attributes)}",
+        f"entry_fields={sorted(index.entry_fields)}",
+        f"port_spec={sorted(index.port_spec.items())}",
+        f"effects={effects.facts_material() if effects is not None else ''}",
+        f"config={config!r}",
+    )
+
+
+def entry_key(relpath: str, source: str, facts: str) -> str:
+    return diskcache.digest(
+        f"format={_CACHE_FORMAT}",
+        f"path={relpath}",
+        f"sha={file_sha(source)}",
+        f"ruleset={ruleset_version()}",
+        f"facts={facts}",
+    )
+
+
+def finding_from_dict(payload: Dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(payload["rule"]),
+        severity=Severity(payload["severity"]),
+        path=str(payload["path"]),
+        line=int(payload["line"]),       # type: ignore[arg-type]
+        col=int(payload["col"]),         # type: ignore[arg-type]
+        message=str(payload["message"]),
+    )
+
+
+def load_findings(cache_dir: Path, key: str) -> Optional[List[Finding]]:
+    """Cached findings for one file, or None on any kind of miss."""
+    entry = diskcache.load_entry(cache_dir, key, _CACHE_FORMAT)
+    if entry is None:
+        return None
+    raw = entry.get("findings")
+    if not isinstance(raw, list):
+        return None
+    try:
+        return [finding_from_dict(item) for item in raw]
+    except (KeyError, TypeError, ValueError):
+        return None                      # schema drift: treat as miss
+
+
+def store_findings(cache_dir: Path, key: str, relpath: str,
+                   findings: List[Finding]) -> None:
+    diskcache.store_entry(cache_dir, key, {
+        "format": _CACHE_FORMAT,
+        "path": relpath,
+        "findings": [finding.to_dict() for finding in findings],
+    })

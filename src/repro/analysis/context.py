@@ -18,7 +18,7 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
 _SUPPRESS_RE = re.compile(r"#\s*lint:\s*ok(?:\[([^\]]*)\])?")
 
@@ -43,7 +43,7 @@ class ModuleContext:
             return False
         return "*" in rules or rule_id in rules
 
-    def in_any(self, prefixes) -> bool:
+    def in_any(self, prefixes: Iterable[str]) -> bool:
         """True if this module's path matches any substring prefix.
 
         An empty-string prefix matches every module — tests use it to

@@ -16,9 +16,10 @@ from __future__ import annotations
 
 import ast
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from .context import ModuleContext
+from .effects import EffectGraph
 
 # Fallbacks mirroring repro/core/metadata.py.  `block` and `page` are
 # deliberately excluded: they are identity fields, never rewritten, and
@@ -73,6 +74,8 @@ class ProjectIndex:
     # MemoryPort protocol surface: method -> leading params after self.
     port_spec: Dict[str, Tuple[str, ...]] = field(
         default_factory=lambda: dict(DEFAULT_PORT_SPEC))
+    # Linked interprocedural effect graph (persist/race rule families).
+    effects: Optional[EffectGraph] = None
 
 
 def _collect_set_attributes(tree: ast.Module) -> FrozenSet[str]:
@@ -137,4 +140,5 @@ def build_index(modules: Sequence[ModuleContext]) -> ProjectIndex:
         set_attributes=frozenset(set_attrs),
         entry_fields=entry_fields or DEFAULT_ENTRY_FIELDS,
         port_spec=port_spec or dict(DEFAULT_PORT_SPEC),
+        effects=EffectGraph.build(modules),
     )

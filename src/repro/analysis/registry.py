@@ -11,10 +11,14 @@ BTT/PTT entry fields, the MemoryPort surface).
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Type
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Type
 
 from .context import ModuleContext
 from .findings import Finding, Severity
+
+if TYPE_CHECKING:       # circular at runtime: runner imports registry
+    from .project import ProjectIndex
+    from .runner import LintConfig
 
 
 class Rule:
@@ -22,15 +26,20 @@ class Rule:
     implement :meth:`check`."""
 
     id: str = ""
-    family: str = ""              # "determinism" | "protocol" | "api"
+    family: str = ""    # "determinism" | "protocol" | "api" | "persist" | "race"
     severity: Severity = Severity.ERROR
     description: str = ""
+    # Optional teaching material surfaced by `repro lint --explain`.
+    rationale: str = ""
+    example_bad: str = ""
+    example_good: str = ""
 
-    def check(self, module: ModuleContext, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         raise NotImplementedError
 
     def finding(self, module: ModuleContext, node: ast.AST, message: str,
-                severity: Severity = None) -> Finding:
+                severity: Optional[Severity] = None) -> Finding:
         """Build a finding anchored at ``node`` in ``module``."""
         return Finding(
             rule=self.id,

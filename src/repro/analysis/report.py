@@ -24,15 +24,63 @@ def render_json(report: AnalysisReport) -> str:
             "errors": report.errors,
             "warnings": report.warnings,
             "files_scanned": report.files_scanned,
+            "files_cached": report.files_cached,
+            "files_analyzed": report.files_analyzed,
         },
     }
     return json.dumps(payload, indent=2)
+
+
+def _github_escape(text: str) -> str:
+    """Escape a message for a workflow-command property value."""
+    return (text.replace("%", "%25").replace("\r", "%0D")
+            .replace("\n", "%0A"))
+
+
+def render_github(report: AnalysisReport) -> str:
+    """GitHub Actions workflow commands: findings annotate PR diffs.
+
+    One ``::error``/``::warning`` line per finding (ast's 0-based
+    columns become 1-based for the annotation API), then the human
+    summary line, which GitHub prints as plain log output.
+    """
+    lines: List[str] = []
+    for finding in report.findings:
+        kind = "error" if finding.severity.value == "error" else "warning"
+        lines.append(
+            f"::{kind} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::"
+            f"{_github_escape(finding.message)}")
+    lines.append(
+        f"{report.errors} error(s), {report.warnings} warning(s) "
+        f"in {report.files_scanned} file(s)")
+    return "\n".join(lines)
 
 
 def render_rule_catalogue() -> str:
     """Human-readable list of every registered rule."""
     lines = []
     for rule in all_rules():
-        lines.append(f"{rule.id:22s} [{rule.family}/{rule.severity.value}] "
+        lines.append(f"{rule.id:26s} [{rule.family}/{rule.severity.value}] "
                      f"{rule.description}")
+    return "\n".join(lines)
+
+
+def render_rule_explain(rule_id: str) -> str:
+    """`repro lint --explain <RULE_ID>`: doc, rationale and examples."""
+    from .registry import get_rule
+
+    rule = get_rule(rule_id)             # raises KeyError on unknown id
+    lines = [f"{rule.id} [{rule.family}/{rule.severity.value}]",
+             "", rule.description]
+    if rule.rationale:
+        lines += ["", "Why it matters:", f"  {rule.rationale}"]
+    if rule.example_bad:
+        lines += ["", "Flagged:"]
+        lines += [f"    {line}" for line in rule.example_bad.splitlines()]
+    if rule.example_good:
+        lines += ["", "Clean:"]
+        lines += [f"    {line}" for line in rule.example_good.splitlines()]
+    lines += ["", f"Suppress one site with: "
+                  f"# lint: ok[{rule.id}]  (justify it in the comment)"]
     return "\n".join(lines)

@@ -7,6 +7,6 @@ subclass with :func:`~repro.analysis.registry.register` in the family
 module.
 """
 
-from . import api, determinism, protocol
+from . import api, determinism, persist, protocol, races
 
-__all__ = ["api", "determinism", "protocol"]
+__all__ = ["api", "determinism", "persist", "protocol", "races"]

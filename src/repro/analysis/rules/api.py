@@ -13,10 +13,15 @@
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
+from ..context import ModuleContext
 from ..findings import Finding, Severity
 from ..registry import Rule, register
+
+if TYPE_CHECKING:
+    from ..project import ProjectIndex
+    from ..runner import LintConfig
 
 _NEUTRAL_BASES = frozenset({"object", "Protocol", "Generic", "ABC"})
 
@@ -44,7 +49,8 @@ class PortSurfaceRule(Rule):
     description = ("classes defining read_block/write_block must implement "
                    "the full MemoryPort surface with compatible signatures")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         spec = project.port_spec
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.ClassDef):
@@ -89,7 +95,7 @@ def _module_level_bindings(tree: ast.Module) -> Set[str]:
     """Names bound at module level (descending into If/Try bodies)."""
     bound: Set[str] = set()
 
-    def visit_block(statements) -> None:
+    def visit_block(statements: List[ast.stmt]) -> None:
         for stmt in statements:
             if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
                                  ast.ClassDef)):
@@ -161,7 +167,8 @@ class AllExportsRule(Rule):
     description = ("__all__ must list existing names exactly once and "
                    "cover the module's public surface")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         found = _find_all(module.tree)
         if found is None:
             return

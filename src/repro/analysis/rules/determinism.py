@@ -19,12 +19,16 @@ inside the simulator-decision scope (``repro/sim``, ``repro/core``,
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, Optional, Set
+from typing import TYPE_CHECKING, Dict, Iterator, Optional, Set
 
 from ..context import ModuleContext, attach_parents, parent_of
 from ..findings import Finding
 from ..project import annotation_is_set
 from ..registry import Rule, register
+
+if TYPE_CHECKING:
+    from ..project import ProjectIndex
+    from ..runner import LintConfig
 
 _WALLCLOCK_TIME_FNS = frozenset({
     "time", "time_ns", "monotonic", "monotonic_ns",
@@ -135,7 +139,8 @@ def _owner_function(node: ast.AST) -> Optional[ast.AST]:
 class _DeterminismRule(Rule):
     family = "determinism"
 
-    def in_scope(self, module: ModuleContext, config) -> bool:
+    def in_scope(self, module: ModuleContext,
+                 config: LintConfig) -> bool:
         return module.in_any(config.determinism_scope)
 
 
@@ -145,7 +150,8 @@ class WallClockRule(_DeterminismRule):
     description = ("wall-clock reads (time.time, datetime.now, ...) make "
                    "simulator output depend on the host clock")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if not self.in_scope(module, config):
             return
         origins = _imported_names(module.tree)
@@ -171,7 +177,8 @@ class GlobalRandomRule(_DeterminismRule):
     description = ("module-level random.* draws from process-global RNG "
                    "state; use a seeded random.Random instance")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if not self.in_scope(module, config):
             return
         origins = _imported_names(module.tree)
@@ -196,7 +203,8 @@ class IdOrderingRule(_DeterminismRule):
     description = ("id() as an ordering key depends on CPython allocation "
                    "addresses and varies run to run")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if not self.in_scope(module, config):
             return
         for node in ast.walk(module.tree):
@@ -231,7 +239,8 @@ class SetIterationRule(_DeterminismRule):
     description = ("iterating a set in an order-sensitive position; "
                    "wrap in sorted(...)")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if not self.in_scope(module, config):
             return
         attach_parents(module.tree)
@@ -281,7 +290,8 @@ class SetPopRule(_DeterminismRule):
     id = "det-set-pop"
     description = "set.pop() removes an arbitrary element"
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if not self.in_scope(module, config):
             return
         attach_parents(module.tree)

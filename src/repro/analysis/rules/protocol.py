@@ -24,7 +24,7 @@ statically:
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Set
+from typing import TYPE_CHECKING, Iterator, Optional, Set
 
 from ..context import ModuleContext, attach_parents, enclosing_functions, \
     is_method
@@ -33,6 +33,10 @@ from ..graphs import dead_states, extract_assigned_member, \
     extract_enum_members, extract_transition_table, reachable, \
     table_literal_issues
 from ..registry import Rule, register
+
+if TYPE_CHECKING:
+    from ..project import ProjectIndex
+    from ..runner import LintConfig
 
 _ENTRY_MUTATORS = frozenset({"add", "discard", "remove", "clear",
                              "update", "pop"})
@@ -103,7 +107,8 @@ class StateGraphRule(Rule):
     description = ("ALLOWED_TRANSITIONS must be well-formed, reachable, "
                    "dead-state-free and identical to the runtime table")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if not (_defines(module.tree, "ProtocolState")
                 and _defines(module.tree, "ALLOWED_TRANSITIONS")):
             return
@@ -112,7 +117,8 @@ class StateGraphRule(Rule):
         if module.relpath.endswith("repro/core/versions.py"):
             yield from self._runtime_drift(module)
 
-    def _runtime_drift(self, module) -> Iterator[Finding]:
+    def _runtime_drift(self, module: ModuleContext,
+                       ) -> Iterator[Finding]:
         """The statically-extracted graph must match what
         validate_transition enforces at runtime (import-time table)."""
         from repro.core import versions as runtime
@@ -154,7 +160,8 @@ class PhaseGraphRule(Rule):
                    "free; phase changes must go through _set_phase with "
                    "declared destinations")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if not (_defines(module.tree, "Phase")
                 and _defines(module.tree, "PHASE_TRANSITIONS")):
             return
@@ -173,7 +180,8 @@ class PhaseGraphRule(Rule):
             yield from self._check_set_phase(module, node,
                                              declared_destinations)
 
-    def _check_assignment(self, module, node) -> Iterator[Finding]:
+    def _check_assignment(self, module: ModuleContext,
+                          node: ast.AST) -> Iterator[Finding]:
         """Direct `<obj>.phase = Phase.X` bypasses validation."""
         if not isinstance(node, ast.Assign):
             return
@@ -191,7 +199,7 @@ class PhaseGraphRule(Rule):
                     "direct assignment to .phase bypasses "
                     "validate_phase_transition; use _set_phase(...)")
 
-    def _check_set_phase(self, module, node,
+    def _check_set_phase(self, module: ModuleContext, node: ast.AST,
                          declared: Set[str]) -> Iterator[Finding]:
         if not (isinstance(node, ast.Call)
                 and isinstance(node.func, ast.Attribute)
@@ -216,7 +224,8 @@ class EntryMutationRule(Rule):
     description = ("BlockEntry/PageEntry state may only change inside "
                    "repro/core protocol methods")
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         attach_parents(module.tree)
         in_core = module.in_any(config.core_prefixes)
         fields = project.entry_fields
@@ -272,7 +281,8 @@ class TableMutationRule(Rule):
     family = "protocol"
     description = "BTT/PTT mutating calls are repro/core-internal"
 
-    def check(self, module, project, config) -> Iterator[Finding]:
+    def check(self, module: ModuleContext, project: ProjectIndex,
+              config: LintConfig) -> Iterator[Finding]:
         if module.in_any(config.core_prefixes):
             return
         for node in ast.walk(module.tree):

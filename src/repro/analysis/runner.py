@@ -17,7 +17,7 @@ from __future__ import annotations
 import fnmatch
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from .context import ModuleContext, load_module
 from .findings import Finding, Severity
@@ -26,6 +26,10 @@ from .registry import all_rules
 
 DEFAULT_DETERMINISM_SCOPE = ("repro/sim/", "repro/core/", "repro/baselines/")
 DEFAULT_CORE_PREFIXES = ("repro/core/",)
+# Where the persist-order dataflow rules apply (the §4.4 machinery).
+DEFAULT_PERSIST_SCOPE = ("repro/core/", "repro/mem/")
+# Where same-cycle race findings are reported (any scheduling layer).
+DEFAULT_RACE_SCOPE = ("repro/",)
 
 
 @dataclass(frozen=True)
@@ -34,6 +38,8 @@ class LintConfig:
 
     determinism_scope: Tuple[str, ...] = DEFAULT_DETERMINISM_SCOPE
     core_prefixes: Tuple[str, ...] = DEFAULT_CORE_PREFIXES
+    persist_scope: Tuple[str, ...] = DEFAULT_PERSIST_SCOPE
+    race_scope: Tuple[str, ...] = DEFAULT_RACE_SCOPE
     # (path glob, rule ids) — "*" as a rule id silences all rules.
     suppressions: Tuple[Tuple[str, Tuple[str, ...]], ...] = ()
     # Restrict the run to these rule ids (None = all registered rules).
@@ -46,6 +52,9 @@ class AnalysisReport:
 
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    # Incremental-cache observability (both 0 when caching is off).
+    files_cached: int = 0
+    files_analyzed: int = 0
 
     @property
     def errors(self) -> int:
@@ -88,13 +97,28 @@ def _path_suppressed(config: LintConfig, finding: Finding) -> bool:
     return False
 
 
-def run_analysis(paths: Sequence, config: Optional[LintConfig] = None,
+def run_analysis(paths: Sequence[Union[str, Path]],
+                 config: Optional[LintConfig] = None,
+                 cache_dir: Optional[Union[str, Path]] = None,
                  ) -> AnalysisReport:
-    """Analyze ``paths`` (files or directories) under ``config``."""
+    """Analyze ``paths`` (files or directories) under ``config``.
+
+    With a ``cache_dir``, per-file findings are loaded from the
+    incremental cache (:mod:`repro.analysis.cache`) when the file, the
+    rule set, the config *and* the cross-module facts are all
+    unchanged.  Every file is still parsed — the project index and
+    effect graph are global inputs — but rule execution is skipped for
+    cache hits.
+    """
+    from . import cache as lint_cache
+
     config = config if config is not None else LintConfig()
+    cache = Path(cache_dir) if cache_dir is not None else None
     files = iter_python_files(Path(p) for p in paths)
     modules: List[ModuleContext] = []
     findings: List[Finding] = []
+    files_cached = 0
+    files_analyzed = 0
     for file_path in files:
         try:
             modules.append(load_module(file_path))
@@ -107,9 +131,21 @@ def run_analysis(paths: Sequence, config: Optional[LintConfig] = None,
                 col=(exc.offset or 1) - 1,
                 message=f"cannot parse module: {exc.msg}",
             ))
+            files_analyzed += 1          # unparsable files never cache
     index = build_index(modules)
+    facts = (lint_cache.facts_digest(index, config)
+             if cache is not None else "")
     selected = None if config.select is None else set(config.select)
     for module in modules:
+        key = None
+        if cache is not None:
+            key = lint_cache.entry_key(module.relpath, module.source, facts)
+            cached = lint_cache.load_findings(cache, key)
+            if cached is not None:
+                findings.extend(cached)
+                files_cached += 1
+                continue
+        module_findings: List[Finding] = []
         for rule in all_rules():
             if selected is not None and rule.id not in selected:
                 continue
@@ -118,6 +154,13 @@ def run_analysis(paths: Sequence, config: Optional[LintConfig] = None,
                     continue
                 if _path_suppressed(config, finding):
                     continue
-                findings.append(finding)
+                module_findings.append(finding)
+        if cache is not None and key is not None:
+            lint_cache.store_findings(cache, key, module.relpath,
+                                      module_findings)
+        findings.extend(module_findings)
+        files_analyzed += 1
     findings.sort(key=Finding.sort_key)
-    return AnalysisReport(findings=findings, files_scanned=len(files))
+    return AnalysisReport(findings=findings, files_scanned=len(files),
+                          files_cached=files_cached,
+                          files_analyzed=files_analyzed)

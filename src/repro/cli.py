@@ -265,10 +265,20 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """`repro lint`: run the protocol-aware static analyzer."""
-    from .analysis import (render_json, render_rule_catalogue, render_text,
-                           run_analysis)
+    from .analysis import (render_github, render_json,
+                           render_rule_catalogue, render_rule_explain,
+                           render_text, run_analysis)
+    from .analysis.cache import DEFAULT_LINT_CACHE_DIR
     if args.list_rules:
         print(render_rule_catalogue())
+        return 0
+    if args.explain:
+        try:
+            print(render_rule_explain(args.explain))
+        except KeyError:
+            print(f"lint: unknown rule id {args.explain!r}; see "
+                  f"`repro lint --list-rules`", file=sys.stderr)
+            return 2
         return 0
     paths = args.paths or ["src"]
     missing = [path for path in paths if not Path(path).exists()]
@@ -276,11 +286,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
         # A typo'd path must not green-light a CI run.
         print(f"lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
-    report = run_analysis(paths)
-    if args.json:
+    cache_dir = None if args.no_cache else (args.cache_dir
+                                            or DEFAULT_LINT_CACHE_DIR)
+    report = run_analysis(paths, cache_dir=cache_dir)
+    output_format = "json" if args.json else args.format
+    if output_format == "json":
         print(render_json(report))
+    elif output_format == "github":
+        print(render_github(report))
     else:
         print(render_text(report))
+    if cache_dir is not None:
+        print(f"lint cache: {report.files_cached} cached, "
+              f"{report.files_analyzed} analyzed ({cache_dir})",
+              file=sys.stderr)
     return report.exit_code(strict=args.strict)
 
 
@@ -360,11 +379,24 @@ def make_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("paths", nargs="*",
                              help="files/directories to analyze (default src)")
     lint_parser.add_argument("--json", action="store_true",
-                             help="machine-readable findings")
+                             help="machine-readable findings "
+                                  "(alias for --format json)")
+    lint_parser.add_argument("--format", default="text",
+                             choices=("text", "json", "github"),
+                             help="output format; 'github' emits Actions "
+                                  "::error annotations")
     lint_parser.add_argument("--strict", action="store_true",
                              help="warnings also fail the run")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
+    lint_parser.add_argument("--explain", metavar="RULE_ID", default=None,
+                             help="print one rule's doc, rationale and "
+                                  "examples, then exit")
+    lint_parser.add_argument("--cache-dir", default=None,
+                             help="incremental lint cache directory "
+                                  "(default .repro-cache/lint)")
+    lint_parser.add_argument("--no-cache", action="store_true",
+                             help="analyze every file, bypassing the cache")
     lint_parser.set_defaults(func=cmd_lint)
 
     return parser

@@ -27,7 +27,6 @@ every entry.  See ``docs/HARNESS.md``.
 from __future__ import annotations
 
 import hashlib
-import json
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -35,6 +34,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from .. import diskcache
 from ..config import SystemConfig
 from ..errors import SimulationError
 from ..stats.collector import StatsCollector
@@ -113,48 +113,33 @@ def code_version() -> str:
 def cache_key(point: RunPoint, version: Optional[str] = None) -> str:
     """Stable hash identifying one point's result across processes."""
     version = version if version is not None else code_version()
-    material = "\n".join([
+    return diskcache.digest(
         f"format={_CACHE_FORMAT}",
         f"system={point.system}",
         f"trace={point.trace.cache_token()}",
         f"config={point.config!r}",
         f"code={version}",
-    ])
-    return hashlib.sha256(material.encode()).hexdigest()
-
-
-def _cache_path(cache_dir: Path, key: str) -> Path:
-    return cache_dir / f"{key}.json"
+    )
 
 
 def _cache_load(cache_dir: Path, key: str) -> Optional[Dict[str, object]]:
-    path = _cache_path(cache_dir, key)
-    try:
-        with open(path, "r", encoding="utf-8") as handle:
-            entry = json.load(handle)
-    except (OSError, ValueError):
-        return None                      # missing or corrupt: treat as miss
-    if entry.get("format") != _CACHE_FORMAT:
+    entry = diskcache.load_entry(cache_dir, key, _CACHE_FORMAT)
+    if entry is None:
         return None
-    return entry.get("stats")
+    stats = entry.get("stats")
+    return stats if isinstance(stats, dict) else None
 
 
 def _cache_store(cache_dir: Path, key: str, point: RunPoint,
                  snapshot: Dict[str, object]) -> None:
-    cache_dir.mkdir(parents=True, exist_ok=True)
-    entry = {
+    diskcache.store_entry(cache_dir, key, {
         "format": _CACHE_FORMAT,
         "system": point.system,
         "trace": point.trace.cache_token(),
         "config": repr(point.config),
         "code_version": code_version(),
         "stats": snapshot,
-    }
-    path = _cache_path(cache_dir, key)
-    tmp = path.with_suffix(".tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(entry, handle, sort_keys=True)
-    os.replace(tmp, path)                # atomic publish, even cross-process
+    })
 
 
 # --- execution -----------------------------------------------------------

@@ -19,10 +19,13 @@ DETERMINISM_RULES = ("det-wallclock", "det-global-random", "det-id-order",
 
 
 def lint_fixture(name, *, select=None, determinism_scope=("",),
-                 core_prefixes=("repro/core/",), suppressions=()):
+                 core_prefixes=("repro/core/",), suppressions=(),
+                 persist_scope=("",), race_scope=("",)):
     config = LintConfig(
         determinism_scope=tuple(determinism_scope),
         core_prefixes=tuple(core_prefixes),
+        persist_scope=tuple(persist_scope),
+        race_scope=tuple(race_scope),
         suppressions=tuple(suppressions),
         select=None if select is None else tuple(select),
     )

@@ -1,0 +1,22 @@
+"""Same-cycle race: two independent handlers write one attribute."""
+
+
+class RacyDevice:
+    def __init__(self, engine):
+        self.engine = engine
+        self.counter = 0
+
+    def start(self, delay):
+        self.engine.schedule(delay, self._tick)
+        self.engine.schedule(delay, self._tock)
+
+    def _tick(self):
+        self.counter += 1
+
+    def _tock(self):
+        # The colliding write sits one synchronous call deeper — the
+        # footprint is transitive.
+        self._reset()
+
+    def _reset(self):
+        self.counter = 0

@@ -1,0 +1,72 @@
+"""Schedule patterns the race rule must accept."""
+
+
+class DisjointDevice:
+    """Same-cycle handlers touching different attributes."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.ticks = 0
+        self.tocks = 0
+
+    def start(self, delay):
+        self.engine.schedule(delay, self._tick)
+        self.engine.schedule(delay, self._tock)
+
+    def _tick(self):
+        self.ticks += 1
+
+    def _tock(self):
+        self.tocks += 1
+
+
+class SequencedDevice:
+    """The second handler is scheduled *by* the first: explicit order."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.count = 0
+
+    def start(self, delay):
+        self.engine.schedule(delay, self._tick)
+
+    def _tick(self):
+        self.count += 1
+        self.engine.schedule(0, self._tock)
+
+    def _tock(self):
+        self.count = 0
+
+
+class RepeatDevice:
+    """One handler scheduled from many sites races only itself."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.steps = 0
+
+    def start(self):
+        self.engine.schedule(0, self._step)
+
+    def _step(self):
+        self.steps += 1
+        if self.steps < 8:
+            self.engine.schedule(1, self._step)
+        else:
+            self.engine.schedule(2, self._step)
+
+
+class OpaqueDevice:
+    """Handler parameters the resolver cannot name are skipped."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.jobs = 0
+
+    def run_later(self, delay, on_done):
+        self.jobs += 1
+        self.engine.schedule(delay, on_done)
+        self.engine.schedule(delay, self._bump)
+
+    def _bump(self):
+        self.jobs += 1

@@ -1,0 +1,18 @@
+"""A known-commutative same-cycle pair, suppressed with justification."""
+
+
+class CommutativeDevice:
+    def __init__(self, engine):
+        self.engine = engine
+        self.total = 0
+
+    def start(self, delay):
+        self.engine.schedule(delay, self._add_two)
+        # Both handlers only add to a sum: order-independent.
+        self.engine.schedule(delay, self._add_three)   # lint: ok[race-same-cycle]
+
+    def _add_two(self):
+        self.total += 2
+
+    def _add_three(self):
+        self.total += 3

@@ -1,0 +1,117 @@
+"""Incremental lint cache: warm runs re-analyze nothing, edits
+invalidate precisely, corruption degrades to a miss, and cached
+findings are byte-identical to fresh ones."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import LintConfig, run_analysis
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+CONFIG = LintConfig(determinism_scope=("",), persist_scope=("",),
+                    race_scope=("",))
+
+
+def _copy_fixtures(tmp_path, names=("det_bad.py", "persist_bad.py",
+                                    "race_bad.py", "det_good.py")):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    for name in names:
+        (tree / name).write_text((FIXTURES / name).read_text())
+    return tree
+
+
+def test_cold_then_warm_run(tmp_path):
+    tree = _copy_fixtures(tmp_path)
+    cache = tmp_path / "cache"
+    cold = run_analysis([tree], CONFIG, cache_dir=cache)
+    assert cold.files_cached == 0
+    assert cold.files_analyzed == 4
+    warm = run_analysis([tree], CONFIG, cache_dir=cache)
+    assert warm.files_cached == 4
+    assert warm.files_analyzed == 0
+
+
+def test_cached_findings_match_fresh(tmp_path):
+    tree = _copy_fixtures(tmp_path)
+    cache = tmp_path / "cache"
+    fresh = run_analysis([tree], CONFIG, cache_dir=cache)
+    cached = run_analysis([tree], CONFIG, cache_dir=cache)
+    as_tuples = lambda report: [(f.rule, f.path, f.line, f.col, f.message,
+                                 f.severity) for f in report.findings]
+    assert as_tuples(cached) == as_tuples(fresh)
+    assert cached.findings != []
+
+
+def test_comment_edit_invalidates_only_that_file(tmp_path):
+    tree = _copy_fixtures(tmp_path)
+    cache = tmp_path / "cache"
+    run_analysis([tree], CONFIG, cache_dir=cache)
+    target = tree / "det_good.py"
+    target.write_text(target.read_text() + "\n# trailing comment\n")
+    warm = run_analysis([tree], CONFIG, cache_dir=cache)
+    assert warm.files_analyzed == 1
+    assert warm.files_cached == 3
+
+
+def test_config_change_invalidates(tmp_path):
+    tree = _copy_fixtures(tmp_path)
+    cache = tmp_path / "cache"
+    run_analysis([tree], CONFIG, cache_dir=cache)
+    narrowed = LintConfig(determinism_scope=("elsewhere/",),
+                          persist_scope=("",), race_scope=("",))
+    rerun = run_analysis([tree], narrowed, cache_dir=cache)
+    assert rerun.files_cached == 0
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path):
+    tree = _copy_fixtures(tmp_path)
+    cache = tmp_path / "cache"
+    run_analysis([tree], CONFIG, cache_dir=cache)
+    entries = list(cache.rglob("*.json"))
+    assert entries
+    for entry in entries:
+        entry.write_text("{not json")
+    rerun = run_analysis([tree], CONFIG, cache_dir=cache)
+    assert rerun.files_analyzed == 4
+    assert rerun.findings != []
+
+
+def test_suppressed_findings_stay_suppressed_when_cached(tmp_path):
+    tree = _copy_fixtures(tmp_path, names=("det_suppressed.py",))
+    cache = tmp_path / "cache"
+    cold = run_analysis([tree], CONFIG, cache_dir=cache)
+    warm = run_analysis([tree], CONFIG, cache_dir=cache)
+    assert cold.findings == []
+    assert warm.findings == []
+    assert warm.files_cached == 1
+
+
+def test_parse_error_files_are_never_cached(tmp_path):
+    tree = tmp_path / "tree"
+    tree.mkdir()
+    (tree / "broken.py").write_text("def broken(:\n")
+    cache = tmp_path / "cache"
+    run_analysis([tree], CONFIG, cache_dir=cache)
+    rerun = run_analysis([tree], CONFIG, cache_dir=cache)
+    assert rerun.files_analyzed == 1
+    assert [f.rule for f in rerun.findings] == ["parse-error"]
+
+
+def test_cli_reports_cache_counts_on_stderr(tmp_path, capsys):
+    tree = _copy_fixtures(tmp_path, names=("det_good.py",))
+    cache = tmp_path / "cache"
+    assert main(["lint", str(tree), "--cache-dir", str(cache)]) == 0
+    assert "1 analyzed" in capsys.readouterr().err
+    assert main(["lint", str(tree), "--cache-dir", str(cache)]) == 0
+    err = capsys.readouterr().err
+    assert "1 cached, 0 analyzed" in err
+
+
+def test_cli_no_cache_skips_cache_entirely(tmp_path, capsys):
+    tree = _copy_fixtures(tmp_path, names=("det_good.py",))
+    assert main(["lint", str(tree), "--no-cache"]) == 0
+    assert "lint cache" not in capsys.readouterr().err
+    assert not list(tmp_path.rglob(".repro-cache"))

@@ -1,0 +1,42 @@
+"""The same-cycle race rule: fires on overlapping handler footprints,
+accepts disjoint/sequenced/self/unresolvable patterns, and honours
+inline suppressions."""
+
+from .conftest import lint_fixture, rules_fired
+
+
+def test_bad_fixture_flags_the_racy_pair():
+    report = lint_fixture("race_bad.py", select=["race-same-cycle"])
+    assert rules_fired(report) == {"race-same-cycle"}
+    assert len(report.findings) == 1
+
+
+def test_message_names_both_handlers_and_the_shared_attr():
+    report = lint_fixture("race_bad.py", select=["race-same-cycle"])
+    message = report.findings[0].message
+    assert "_tick" in message and "_tock" in message
+    assert "counter" in message
+
+
+def test_footprint_is_transitive_over_synchronous_calls():
+    # _tock itself never writes counter; _reset (called synchronously)
+    # does.  If the rule only looked one level deep this would pass
+    # silently, so the bad fixture doubles as the transitivity probe.
+    report = lint_fixture("race_bad.py", select=["race-same-cycle"])
+    assert report.findings != []
+
+
+def test_good_fixture_is_clean():
+    report = lint_fixture("race_good.py", select=["race-same-cycle"])
+    assert report.findings == []
+
+
+def test_out_of_scope_module_is_ignored():
+    report = lint_fixture("race_bad.py", select=["race-same-cycle"],
+                          race_scope=("repro/core/",))
+    assert report.findings == []
+
+
+def test_inline_suppression_comments():
+    report = lint_fixture("race_suppressed.py", select=["race-same-cycle"])
+    assert report.findings == []

@@ -20,8 +20,8 @@ def test_shipped_tree_is_lint_clean():
 def test_rule_catalogue():
     rules = all_rules()
     assert {rule.family for rule in rules} == {"determinism", "protocol",
-                                               "api"}
-    assert len(rules) >= 11
+                                               "api", "persist", "race"}
+    assert len(rules) >= 15
     ids = [rule.id for rule in rules]
     assert ids == sorted(ids)          # deterministic output ordering
 
