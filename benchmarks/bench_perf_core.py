@@ -1,0 +1,45 @@
+"""Simulator-core throughput: host events/sec over the perf matrix.
+
+Unlike the figure benches, this measures the *simulator*, not the
+simulated machine: how many engine events per host second the core
+loop sustains (docs/PERFORMANCE.md).  `repro perf` records the same
+matrix into BENCH_PERF.json; this bench exposes it to the pytest
+-benchmark workflow (``pytest benchmarks/bench_perf_core.py
+--benchmark-only``) alongside the figure reproductions.
+"""
+
+import os
+
+from repro.harness.tables import format_table
+from repro.perf import QUICK_OPS, run_perf
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def report() -> dict:
+    ops = max(200, int(QUICK_OPS * SCALE))
+    entry = run_perf(ops=ops, label="bench_perf_core")
+    rows = [[cell["workload"], cell["system"], cell["events"],
+             f"{cell['wall_seconds']:.3f}", f"{cell['events_per_sec']:,d}"]
+            for cell in entry["cells"]]
+    totals = entry["totals"]
+    rows.append(["total", "", totals["events"],
+                 f"{totals['wall_seconds']:.3f}",
+                 f"{totals['events_per_sec']:,d}"])
+    print()
+    print(format_table(
+        ["workload", "system", "events", "wall s", "events/s"], rows,
+        title="Simulator-core throughput (host-side, higher is better)"))
+    return entry
+
+
+def test_perf_core_throughput(benchmark):
+    entry = benchmark.pedantic(report, rounds=1, iterations=1)
+    totals = entry["totals"]
+    assert len(entry["cells"]) == 15
+    assert totals["events"] > 0
+    assert totals["events_per_sec"] > 0
+    # The simulated outcomes are deterministic even though wall time is
+    # not: every cell must report a positive, reproducible event count.
+    assert all(cell["events"] > 0 and cell["cycles"] > 0
+               for cell in entry["cells"])

@@ -4,6 +4,7 @@
     repro run --system journal --workload kv-hash --request-size 256
     repro figures fig7 fig12
     repro bench fig7 --jobs 4 --json
+    repro perf --quick
     repro trace record --workload sliding --ops 2000 -o sliding.trace
     repro trace run --system thynvm sliding.trace
     repro lint src/ --strict
@@ -238,6 +239,18 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """`repro perf`: simulator-throughput microbenchmarks.
+
+    Runs the fixed workload matrix, appends an entry to the perf
+    trajectory (BENCH_PERF.json) and optionally warns when events/sec
+    fell more than ``--threshold`` below the recorded baseline
+    (docs/PERFORMANCE.md).
+    """
+    from .perf import main as perf_main
+    return perf_main(args)
+
+
 def _print_series(title: str, series, emit=print) -> None:
     keys = sorted(series)
     systems = list(series[keys[0]].keys())
@@ -360,6 +373,34 @@ def make_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--no-cache", action="store_true",
                               help="disable the on-disk result cache")
     bench_parser.set_defaults(func=cmd_bench)
+
+    perf_parser = sub.add_parser(
+        "perf", help="simulator-throughput microbenchmarks "
+                     "(docs/PERFORMANCE.md)")
+    perf_parser.add_argument("--quick", action="store_true",
+                             help="short traces (CI smoke; ops=3000)")
+    perf_parser.add_argument("--ops", type=int, default=None,
+                             help="trace length per cell (default 12000, "
+                                  "or 3000 with --quick)")
+    perf_parser.add_argument("--label", default=None,
+                             help="trajectory entry label "
+                                  "(default: the mode name)")
+    perf_parser.add_argument("--json", action="store_true",
+                             help="print the new entry as JSON on stdout")
+    perf_parser.add_argument("--output", default="BENCH_PERF.json",
+                             help="perf trajectory file "
+                                  "(default BENCH_PERF.json)")
+    perf_parser.add_argument("--no-write", action="store_true",
+                             help="measure and report without updating "
+                                  "the trajectory file")
+    perf_parser.add_argument("--check", action="store_true",
+                             help="emit a GitHub warning annotation when "
+                                  "events/sec drops below the baseline "
+                                  "by more than --threshold")
+    perf_parser.add_argument("--threshold", type=float, default=0.25,
+                             help="allowed fractional drop for --check "
+                                  "(default 0.25)")
+    perf_parser.set_defaults(func=cmd_perf)
 
     trace_parser = sub.add_parser("trace", help="record/replay trace files")
     trace_sub = trace_parser.add_subparsers(dest="trace_command",

@@ -44,14 +44,21 @@ class DeviceKind(enum.Enum):
 
 
 class _DeviceState:
-    """Per-device scheduling state inside the controller."""
+    """Per-device scheduling state inside the controller.
+
+    Stats channels are resolved once here — the completion path then
+    increments pre-bound per-origin counters instead of string-
+    dispatching on the device name per serviced request.
+    """
 
     __slots__ = ("device", "store", "read_queue", "write_queue",
                  "active", "in_flight_writes", "kicking",
-                 "draining", "drain_waiters", "fences")
+                 "draining", "drain_waiters", "fence_blockers",
+                 "read_counts", "write_counts",
+                 "record_read_latency", "record_write_latency")
 
     def __init__(self, device: MemoryDevice, store, read_q: BoundedQueue,
-                 write_q: BoundedQueue) -> None:
+                 write_q: BoundedQueue, stats: StatsCollector) -> None:
         self.device = device
         self.store = store
         self.read_queue = read_q
@@ -62,8 +69,16 @@ class _DeviceState:
         self.kicking = False
         self.draining = False
         self.drain_waiters: List[Callable[[], None]] = []
-        # Write fences: (outstanding request-id set, callback) pairs.
-        self.fences: List[Tuple[set, Callable[[], None]]] = []
+        # Write fences, indexed by blocking request id: req_id -> the
+        # [outstanding count, callback] cells that wait on it.  A
+        # completing write touches only its own fences, not all of them.
+        self.fence_blockers: Dict[int, List[list]] = {}
+        reads, writes, read_hist, write_hist = \
+            stats.device_channels(device.name)
+        self.read_counts = reads.raw_counts()
+        self.write_counts = writes.raw_counts()
+        self.record_read_latency = read_hist.record
+        self.record_write_latency = write_hist.record
 
     @property
     def busy(self) -> bool:
@@ -89,6 +104,7 @@ class MemoryController:
                 store_cls(config.block_bytes),
                 BoundedQueue(f"{kind.value}-read", config.read_queue_entries),
                 BoundedQueue(f"{kind.value}-write", config.write_queue_entries),
+                stats,
             )
         self.crashed = False
 
@@ -101,10 +117,14 @@ class MemoryController:
         state = self._states[kind]
         queue = state.write_queue if request.is_write else state.read_queue
         request.issue_time = self.engine.now
+        if request.bank is None:
+            # Decode once; every scheduling pass reuses the cached
+            # bank/row instead of re-deriving them per candidate.
+            request.bank, request.row = state.device.decode(request.addr)
         if not queue.try_enqueue(request):
             request.issue_time = None
             return False
-        self._kick(kind)
+        self._kick(state)
         return True
 
     def wait_for_slot(self, kind: DeviceKind, is_write: bool,
@@ -132,12 +152,21 @@ class MemoryController:
         has been serviced.  Writes submitted after the fence do not
         delay it."""
         state = self._states[kind]
-        outstanding = {r.req_id for r in state.write_queue.items()}
-        outstanding.update(state.in_flight_writes)
+        # Queued and in-flight writes are disjoint (a request leaves its
+        # queue when service starts), so this collects each id once, in
+        # a deterministic order.
+        outstanding = [r.req_id for r in state.write_queue.items()]
+        outstanding.extend(sorted(state.in_flight_writes))
         if not outstanding:
             callback()
             return
-        state.fences.append((outstanding, callback))
+        # Index the fence by every write it waits on: each completing
+        # write then finds its fences in one lookup instead of every
+        # write scanning every open fence.
+        fence = [len(outstanding), callback]
+        blockers = state.fence_blockers
+        for req_id in outstanding:
+            blockers.setdefault(req_id, []).append(fence)
 
     # --- functional access for recovery (not timed) --------------------------
 
@@ -175,7 +204,7 @@ class MemoryController:
             state.read_queue.drop_all()
             state.write_queue.drop_all()
             state.drain_waiters.clear()
-            state.fences.clear()
+            state.fence_blockers.clear()
             for event, _request in state.active.values():
                 event.cancel()
             state.active.clear()
@@ -190,9 +219,8 @@ class MemoryController:
 
     # --- scheduler ---------------------------------------------------------------
 
-    def _kick(self, kind: DeviceKind) -> None:
+    def _kick(self, state: _DeviceState) -> None:
         """Issue every request that can start now (one per free bank)."""
-        state = self._states[kind]
         if state.kicking or self.crashed:
             return
         state.kicking = True
@@ -201,86 +229,81 @@ class MemoryController:
                 request = self._select(state)
                 if request is None:
                     break
-                self._start_service(kind, state, request)
+                self._start_service(state, request)
         finally:
             state.kicking = False
 
-    def _start_service(self, kind: DeviceKind, state: _DeviceState,
+    def _start_service(self, state: _DeviceState,
                        request: MemoryRequest) -> None:
-        bank, _row = state.device.decode(request.addr)
+        bank = request.bank
         if bank in state.active:
             raise SimulationError("selected a request for a busy bank")
-        latency = state.device.access(request.addr, request.is_write)
+        latency = state.device.access_decoded(
+            bank, request.row, request.addr, request.is_write)
         if request.is_write:
             state.in_flight_writes.add(request.req_id)
+        # The completion event carries the device state directly: the
+        # hot path never re-resolves the enum-keyed _states dict.
         event = self.engine.schedule(
-            latency, lambda: self._complete(kind, request, bank))
+            latency, self._complete, state, request, bank)
         state.active[bank] = (event, request)
 
     def _select(self, state: _DeviceState) -> Optional[MemoryRequest]:
-        """FR-FCFS over free banks, with read priority and write drain."""
+        """FR-FCFS over free banks, with read priority and write drain.
+
+        Demand reads beat background (migration/recovery) reads: a
+        page-assembly burst must not stall the pipeline.  Writes carry
+        no such priority, so ``demand_priority`` is only set for the
+        read queue.
+        """
         reads, writes = state.read_queue, state.write_queue
         if state.draining and len(writes) <= writes.capacity // 4:
             state.draining = False
         if not state.draining and len(writes) >= (3 * writes.capacity) // 4:
             state.draining = True
 
-        device = state.device
         active = state.active
-
-        def ready(request: MemoryRequest) -> bool:
-            return device.decode(request.addr)[0] not in active
-
-        def prefer(request: MemoryRequest) -> bool:
-            return device.would_row_hit(request.addr)
-
-        def demand(request: MemoryRequest) -> bool:
-            # Demand fills beat background (migration/recovery) reads:
-            # a page-assembly burst must not stall the pipeline.
-            return request.origin.counts_as_cpu()
-
+        open_rows = state.device.open_rows
         order = (writes, reads) if state.draining else (reads, writes)
         for queue in order:
             if queue:
                 request = queue.pop_ready(
-                    ready, prefer, demand if queue is reads else None)
+                    active, open_rows, demand_priority=queue is reads)
                 if request is not None:
                     return request
         return None
 
-    def _complete(self, kind: DeviceKind, request: MemoryRequest,
+    def _complete(self, state: _DeviceState, request: MemoryRequest,
                   bank: int) -> None:
-        state = self._states[kind]
         state.active.pop(bank, None)
+        latency = (self.engine.now - request.issue_time
+                   if request.issue_time is not None else None)
         if request.is_write:
             state.in_flight_writes.discard(request.req_id)
             state.store.write(request.addr, request.data)
+            state.write_counts[request.origin_key] += 1
+            if latency is not None:
+                state.record_write_latency(latency)
         else:
             # Read-after-write forwarding: a still-queued write to the
             # same address is younger than this read in program order
             # (reads and writes sit in separate queues), so the read
             # must observe it.  Take the youngest matching payload.
-            request.data = state.store.read(request.addr)
-            for queued in state.write_queue.items():
-                if queued.addr == request.addr and queued.data is not None:
-                    request.data = queued.data
-        latency = (self.engine.now - request.issue_time
-                   if request.issue_time is not None else None)
-        self.stats.record_device_access(
-            kind.value, request.is_write, request.origin.value, latency)
+            payload = state.write_queue.youngest_payload(request.addr)
+            request.data = (payload if payload is not None
+                            else state.store.read(request.addr))
+            state.read_counts[request.origin_key] += 1
+            if latency is not None:
+                state.record_read_latency(latency)
         request.complete(self.engine.now)
-        if request.is_write and state.fences:
-            fired = []
-            for fence in state.fences:
-                fence[0].discard(request.req_id)
-                if not fence[0]:
-                    fired.append(fence)
-            for fence in fired:
-                state.fences.remove(fence)
-                fence[1]()
+        if request.is_write and state.fence_blockers:
+            for fence in state.fence_blockers.pop(request.req_id, ()):
+                fence[0] -= 1
+                if fence[0] == 0:
+                    fence[1]()
         if (state.drain_waiters and not state.write_queue
                 and not state.in_flight_writes):
             waiters, state.drain_waiters = state.drain_waiters, []
             for waiter in waiters:
                 waiter()
-        self._kick(kind)
+        self._kick(state)

@@ -32,9 +32,11 @@ class MemoryDevice:
         self.row_bytes = row_bytes
         self.num_banks = num_banks
         self.persistent = persistent
-        # Per-bank (open_row, dirty) state; None means no open row.
-        self._open_row: List[Optional[int]] = [None] * num_banks
-        self._row_dirty: List[bool] = [False] * num_banks
+        # Per-bank open-row / dirty state; None means no open row.
+        # Public: the controller's scheduling pass reads open_rows
+        # directly per candidate (docs/PERFORMANCE.md).
+        self.open_rows: List[Optional[int]] = [None] * num_banks
+        self.row_dirty: List[bool] = [False] * num_banks
         # Simple aggregate stats.
         self.row_hits = 0
         self.row_misses = 0
@@ -57,24 +59,30 @@ class MemoryDevice:
     def would_row_hit(self, addr: int) -> bool:
         """True if accessing ``addr`` now would hit the open row."""
         bank, row = self.decode(addr)
-        return self._open_row[bank] == row
+        return self.open_rows[bank] == row
 
     def access(self, addr: int, is_write: bool) -> int:
         """Account one block access; returns its service latency in cycles."""
         bank, row = self.decode(addr)
-        if self._open_row[bank] == row:
+        return self.access_decoded(bank, row, addr, is_write)
+
+    def access_decoded(self, bank: int, row: int, addr: int,
+                       is_write: bool) -> int:
+        """:meth:`access` for callers that already decoded the address
+        (the controller caches the decode on the request at submit)."""
+        if self.open_rows[bank] == row:
             latency = self.timing.row_hit
             self.row_hits += 1
-        elif self._row_dirty[bank]:
+        elif self.row_dirty[bank]:
             latency = self.timing.row_miss_dirty
             self.row_misses += 1
-            self._row_dirty[bank] = False
+            self.row_dirty[bank] = False
         else:
             latency = self.timing.row_miss_clean
             self.row_misses += 1
-        self._open_row[bank] = row
+        self.open_rows[bank] = row
         if is_write:
-            self._row_dirty[bank] = True
+            self.row_dirty[bank] = True
             self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
         latency += self.timing.burst
         self.busy_cycles += latency
@@ -96,8 +104,8 @@ class MemoryDevice:
 
     def reset_row_buffers(self) -> None:
         """Close all rows (e.g., across a simulated power cycle)."""
-        self._open_row = [None] * self.num_banks
-        self._row_dirty = [False] * self.num_banks
+        self.open_rows = [None] * self.num_banks
+        self.row_dirty = [False] * self.num_banks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<MemoryDevice {self.name} banks={self.num_banks}>"

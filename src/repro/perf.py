@@ -1,0 +1,206 @@
+"""Simulator-throughput microbenchmarks (``repro perf``).
+
+Every paper figure replays millions of memory requests through the
+engine → queue → controller → device loop, so *simulator* throughput —
+host-side events per second, nothing to do with simulated bandwidth —
+is the floor on how far traces can scale.  This module measures it on a
+fixed deterministic matrix (the five compared systems × the three
+Fig. 7 micro-benchmark patterns) and records the numbers in
+``BENCH_PERF.json`` at the repo root: the perf trajectory.  Each
+optimization pass appends an entry, so a regression shows up as a drop
+between consecutive entries (CI's perf-smoke job warns on >25%).
+
+Wall-clock numbers are machine-dependent; the *simulated* outcomes
+(cycles, events, requests) in each cell are fully deterministic and
+double as a cheap cross-check that a perf run exercised the exact
+workload the previous entries did.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from .config import SystemConfig
+from .harness.experiments import MICRO_FOOTPRINT, experiment_config
+from .harness.runner import execute
+from .harness.systems import build_system
+from .workloads.tracespec import micro_spec
+
+PERF_SYSTEMS = ("ideal_dram", "ideal_nvm", "journal", "shadow", "thynvm")
+PERF_WORKLOADS = ("random", "streaming", "sliding")
+DEFAULT_OPS = 12000      # the Fig. 7 default trace length
+QUICK_OPS = 3000         # CI smoke / laptop-friendly
+DEFAULT_PATH = Path("BENCH_PERF.json")
+SEED = 1
+
+SCHEMA = {
+    "description": "Simulator-core perf trajectory (see docs/PERFORMANCE.md). "
+                   "Host events/sec on a fixed workload matrix; appended to "
+                   "by `repro perf`, compared by CI's perf-smoke job.",
+    "schema": 1,
+}
+
+
+def _run_cell(workload: str, system: str, ops: int,
+              config: Optional[SystemConfig] = None) -> Dict[str, object]:
+    """Time one (workload, system) cell; returns its measurement row."""
+    config = config if config is not None else experiment_config()
+    trace = micro_spec(workload, MICRO_FOOTPRINT, ops, seed=SEED).build()
+    machine = build_system(system, config)
+    started = time.perf_counter()
+    result = execute(machine, trace)
+    wall = time.perf_counter() - started
+    stats = result.stats
+    requests = (stats.nvm_reads.total() + stats.nvm_writes.total()
+                + stats.dram_reads.total() + stats.dram_writes.total())
+    events = machine.engine.events_fired
+    return {
+        "workload": workload,
+        "system": system,
+        "ops": ops,
+        # Deterministic simulated outcomes (cross-checkable):
+        "cycles": stats.cycles,
+        "events": events,
+        "requests": requests,
+        # Host-side measurements:
+        "wall_seconds": round(wall, 4),
+        "events_per_sec": round(events / wall) if wall else 0,
+        "requests_per_sec": round(requests / wall) if wall else 0,
+    }
+
+
+def run_perf(ops: Optional[int] = None, quick: bool = False,
+             label: Optional[str] = None,
+             systems: Iterable[str] = PERF_SYSTEMS,
+             workloads: Iterable[str] = PERF_WORKLOADS,
+             progress=None) -> Dict[str, object]:
+    """Run the full matrix; return one trajectory entry."""
+    ops = ops if ops is not None else (QUICK_OPS if quick else DEFAULT_OPS)
+    cells: List[Dict[str, object]] = []
+    matrix = [(w, s) for w in workloads for s in systems]
+    for index, (workload, system) in enumerate(matrix):
+        cell = _run_cell(workload, system, ops)
+        cells.append(cell)
+        if progress is not None:
+            progress(index, len(matrix), cell)
+    wall = sum(cell["wall_seconds"] for cell in cells)
+    events = sum(cell["events"] for cell in cells)
+    requests = sum(cell["requests"] for cell in cells)
+    return {
+        "label": label or ("quick" if quick else "full"),
+        "mode": "quick" if quick else "full",
+        "ops": ops,
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "cells": cells,
+        "totals": {
+            "wall_seconds": round(wall, 4),
+            "events": events,
+            "requests": requests,
+            "events_per_sec": round(events / wall) if wall else 0,
+            "requests_per_sec": round(requests / wall) if wall else 0,
+        },
+    }
+
+
+# --- the trajectory file -------------------------------------------------
+
+
+def load_trajectory(path: Path = DEFAULT_PATH) -> Dict[str, object]:
+    """The on-disk trajectory (an empty one if the file is missing)."""
+    path = Path(path)
+    if not path.exists():
+        return {**SCHEMA, "entries": []}
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def append_entry(entry: Dict[str, object],
+                 path: Path = DEFAULT_PATH) -> Dict[str, object]:
+    """Append ``entry`` to the trajectory and rewrite the file."""
+    trajectory = load_trajectory(path)
+    trajectory.setdefault("entries", []).append(entry)
+    with Path(path).open("w") as handle:
+        json.dump(trajectory, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return trajectory
+
+
+def find_baseline(trajectory: Dict[str, object],
+                  mode: Optional[str] = None) -> Optional[Dict[str, object]]:
+    """Most recent recorded entry, preferring one with a matching mode.
+
+    A quick CI run compares fairest against the last quick entry; when
+    only full entries exist, events/sec is still comparable because the
+    metric is per-second, not per-run.
+    """
+    entries = list(trajectory.get("entries", []))
+    if not entries:
+        return None
+    if mode is not None:
+        matching = [e for e in entries if e.get("mode") == mode]
+        if matching:
+            return matching[-1]
+    return entries[-1]
+
+
+def compare_to_baseline(entry: Dict[str, object],
+                        baseline: Dict[str, object]) -> float:
+    """events/sec ratio of ``entry`` over ``baseline`` (1.0 = parity)."""
+    base_rate = baseline["totals"]["events_per_sec"]
+    rate = entry["totals"]["events_per_sec"]
+    return rate / base_rate if base_rate else float("inf")
+
+
+# --- CLI front-end (wired up in repro.cli) ------------------------------
+
+
+def main(args) -> int:
+    """``repro perf``: run the matrix, update the trajectory, report."""
+    def progress(index: int, total: int, cell: Dict[str, object]) -> None:
+        print(f"[{index + 1:2d}/{total:2d}] "
+              f"{cell['workload']}/{cell['system']:<12s} "
+              f"{cell['wall_seconds']:7.3f}s "
+              f"{cell['events_per_sec']:>9,d} ev/s", file=sys.stderr)
+
+    entry = run_perf(ops=args.ops, quick=args.quick, label=args.label,
+                     progress=None if args.json else progress)
+    path = Path(args.output)
+    baseline = find_baseline(load_trajectory(path), mode=entry["mode"])
+
+    if args.json:
+        print(json.dumps(entry, indent=2, sort_keys=True))
+    else:
+        totals = entry["totals"]
+        print(f"perf: {len(entry['cells'])} cells, "
+              f"{totals['events']:,d} events in "
+              f"{totals['wall_seconds']:.2f}s -> "
+              f"{totals['events_per_sec']:,d} events/sec, "
+              f"{totals['requests_per_sec']:,d} requests/sec")
+        if baseline is not None:
+            ratio = compare_to_baseline(entry, baseline)
+            print(f"perf: {ratio:.2f}x vs baseline "
+                  f"{baseline.get('label')!r} "
+                  f"({baseline['totals']['events_per_sec']:,d} events/sec, "
+                  f"recorded {baseline.get('recorded_at')})")
+
+    exit_code = 0
+    if args.check and baseline is not None:
+        ratio = compare_to_baseline(entry, baseline)
+        floor = 1.0 - args.threshold
+        if ratio < floor:
+            # GitHub Actions warning annotation: informational, the job
+            # itself stays green (wall clock on shared runners is noisy).
+            print(f"::warning title=perf-smoke::events/sec dropped to "
+                  f"{ratio:.2f}x of baseline {baseline.get('label')!r} "
+                  f"(floor {floor:.2f}x); see BENCH_PERF.json")
+    if not args.no_write:
+        append_entry(entry, path)
+        print(f"perf: appended entry {entry['label']!r} to {path}",
+              file=sys.stderr)
+    return exit_code

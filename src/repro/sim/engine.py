@@ -3,6 +3,17 @@
 A thin, fast wrapper around a binary heap of :class:`~repro.sim.event.Event`
 objects.  Time is measured in CPU cycles (integers).  The engine plays
 the role gem5's event queue plays in the paper's infrastructure.
+
+Hot-path design notes (docs/PERFORMANCE.md):
+
+* callbacks take positional arguments stored on the event, so services
+  schedule bound methods instead of allocating per-service closures;
+* a live-event counter maintained on schedule/fire/cancel makes
+  :attr:`pending_events` O(1) — backpressure heuristics poll it;
+* cancelled events stay in the heap until popped (cheap cancel), but
+  when they outnumber the live events the heap is compacted so a
+  cancel-heavy phase cannot make every subsequent push pay for dead
+  weight.
 """
 
 from __future__ import annotations
@@ -13,6 +24,10 @@ from typing import Callable, Optional
 from ..errors import SimulationError
 from .event import Event
 
+# Compact the heap when cancelled events both exceed this floor and
+# outnumber the live events (amortized O(1) per cancel).
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Engine:
     """Deterministic single-threaded event loop."""
@@ -22,21 +37,25 @@ class Engine:
         self._seq = 0
         self.now: int = 0
         self._events_fired = 0
+        self._live = 0              # scheduled, not yet fired or cancelled
+        self._cancelled_in_heap = 0
 
     # --- scheduling ----------------------------------------------------
 
-    def schedule(self, delay: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` to run ``delay`` cycles from now."""
+    def schedule(self, delay: int, callback: Callable[..., None],
+                 *args) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
         if not isinstance(delay, int) or isinstance(delay, bool):
             raise SimulationError(
                 f"delay must be an integer cycle count, got "
                 f"{type(delay).__name__} ({delay!r})")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback)
+        return self.schedule_at(self.now + delay, callback, *args)
 
-    def schedule_at(self, time: int, callback: Callable[[], None]) -> Event:
-        """Schedule ``callback`` at absolute cycle ``time``."""
+    def schedule_at(self, time: int, callback: Callable[..., None],
+                    *args) -> Event:
+        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
         if not isinstance(time, int) or isinstance(time, bool):
             raise SimulationError(
                 f"event time must be an integer cycle count, got "
@@ -45,8 +64,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}")
         self._seq += 1
-        event = Event(time, self._seq, callback)
+        event = Event(time, self._seq, callback, args, owner=self)
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
 
     # --- execution -------------------------------------------------------
@@ -67,11 +87,14 @@ class Engine:
                 break
             heapq.heappop(queue)
             if event.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             if event.time < self.now:
                 raise SimulationError("event heap produced a past event")
             self.now = event.time
-            event.callback()
+            self._live -= 1
+            event._owner = None      # fired: a later cancel() is a no-op
+            event.callback(*event.args)
             fired += 1
             self._events_fired += 1
             if max_events is not None and fired >= max_events:
@@ -88,17 +111,38 @@ class Engine:
             raise SimulationError("simulation exceeded max_events; likely livelock")
         return fired
 
+    # --- cancellation bookkeeping ------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """Called by :meth:`Event.cancel` for events this engine owns."""
+        self._live -= 1
+        self._cancelled_in_heap += 1
+        if (self._cancelled_in_heap > _COMPACT_MIN_CANCELLED
+                and self._cancelled_in_heap > self._live):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop lazily-cancelled events and re-heapify the survivors.
+
+        Heap order is a function of each event's immutable ``(time,
+        seq)`` key, so filtering + heapify preserves firing order
+        exactly.
+        """
+        self._queue = [event for event in self._queue if not event.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_heap = 0
+
     # --- introspection -----------------------------------------------------
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued.
+        """Number of live (non-cancelled) events still queued, O(1).
 
-        Cancelled events stay in the heap until popped, but they will
-        never fire; counting them would make backpressure heuristics
-        see dead weight.
+        Cancelled events stay in the heap until popped or compacted,
+        but they will never fire; counting them would make backpressure
+        heuristics see dead weight.
         """
-        return sum(1 for event in self._queue if not event.cancelled)
+        return self._live
 
     @property
     def events_fired(self) -> int:

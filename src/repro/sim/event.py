@@ -3,27 +3,39 @@
 Events are ordered by ``(time, sequence)`` — the sequence number is a
 monotonically increasing tie-breaker so that events scheduled earlier
 fire earlier at the same timestamp, making runs fully deterministic.
+
+An event carries its callback's positional arguments so hot paths can
+schedule a bound method directly (``schedule(lat, self._done, req)``)
+instead of allocating a fresh closure per service.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Optional, Tuple
 
 
 class Event:
     """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner")
 
-    def __init__(self, time: int, seq: int, callback: Callable[[], None]):
+    def __init__(self, time: int, seq: int, callback: Callable[..., None],
+                 args: Tuple = (), owner: Optional[object] = None):
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
+        # The engine that counts this event as live (None once fired,
+        # cancelled, or for standalone events built outside an engine).
+        self._owner = owner
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
         self.cancelled = True
+        owner, self._owner = self._owner, None
+        if owner is not None:
+            owner._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:

@@ -5,12 +5,17 @@ read, DRAM write, NVM read and NVM write.  :class:`BoundedQueue` models
 one of them.  Producers that find the queue full register a waiter
 callback and are re-tried in FIFO order as slots free up — this is how
 checkpointing traffic exerts backpressure on the CPU (and vice versa).
+
+The queue keeps a per-address index (address → FIFO chain of queued
+requests) alongside the FIFO deque, so the scheduler's same-address
+ordering check and the controller's read-after-write forwarding are
+O(1)/O(chain) lookups instead of full-queue scans (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Dict, Optional
 
 from ..errors import SimulationError
 from .request import MemoryRequest
@@ -25,6 +30,9 @@ class BoundedQueue:
         self.name = name
         self.capacity = capacity
         self._items: Deque[MemoryRequest] = deque()
+        # addr -> same-address requests, oldest first.  A request is
+        # eligible for (re)scheduling only while it heads its chain.
+        self._by_addr: Dict[int, Deque[MemoryRequest]] = {}
         self._waiters: Deque[Callable[[], None]] = deque()
         self.max_occupancy = 0
         self.total_enqueued = 0
@@ -37,9 +45,13 @@ class BoundedQueue:
 
     def try_enqueue(self, request: MemoryRequest) -> bool:
         """Append ``request`` if a slot is free; return success."""
-        if self.full:
+        if len(self._items) >= self.capacity:
             return False
         self._items.append(request)
+        chain = self._by_addr.get(request.addr)
+        if chain is None:
+            self._by_addr[request.addr] = chain = deque()
+        chain.append(request)
         self.total_enqueued += 1
         if len(self._items) > self.max_occupancy:
             self.max_occupancy = len(self._items)
@@ -61,75 +73,87 @@ class BoundedQueue:
         return self._items[0] if self._items else None
 
     def items(self):
-        """Iterate queued requests oldest-first (read-after-write
-        forwarding scans this for same-address payloads)."""
+        """Iterate queued requests oldest-first (write fences snapshot
+        their outstanding set from this)."""
         return iter(self._items)
+
+    def youngest_payload(self, addr: int) -> Optional[bytes]:
+        """Data of the youngest queued same-address request carrying a
+        payload, or None.  Read-after-write forwarding uses this instead
+        of scanning the whole queue: the index chain holds exactly the
+        same-address requests, oldest first."""
+        chain = self._by_addr.get(addr)
+        if not chain:
+            return None
+        for request in reversed(chain):
+            if request.data is not None:
+                return request.data
+        return None
+
+    def _unindex(self, request: MemoryRequest) -> None:
+        """Drop ``request`` from its address chain (it must head it)."""
+        chain = self._by_addr[request.addr]
+        if chain[0] is not request:
+            raise SimulationError(
+                f"queue {self.name!r} index corrupt: removed request is "
+                f"not the oldest for address 0x{request.addr:x}")
+        chain.popleft()
+        if not chain:
+            del self._by_addr[request.addr]
 
     def pop(self) -> MemoryRequest:
         """Remove and return the head; wakes one waiter."""
         if not self._items:
             raise SimulationError(f"pop from empty queue {self.name!r}")
         request = self._items.popleft()
+        self._unindex(request)
         self._wake_one()
         return request
 
     def pop_ready(
         self,
-        ready: Callable[[MemoryRequest], bool],
-        prefer: Callable[[MemoryRequest], bool],
-        demand: Optional[Callable[[MemoryRequest], bool]] = None,
+        busy_banks,
+        open_rows,
+        demand_priority: bool = False,
     ) -> Optional[MemoryRequest]:
         """Remove the best serviceable request, or None.
 
-        ``ready`` filters requests whose bank is free.  Among ready
-        requests the ordering is: demand (``demand``) beats background,
-        row-buffer hits (``prefer``) beat misses, older beats younger.
-        Same-address requests are never reordered: a request is
-        ineligible while an older same-address request is still queued.
+        ``busy_banks`` is a container supporting ``in`` over bank
+        numbers with an in-flight service; ``open_rows`` maps bank →
+        open row (indexable, None = closed).  Requests carry their
+        pre-decoded ``bank``/``row``/``demand`` fields, so candidate
+        evaluation is attribute reads, not callbacks (see
+        docs/PERFORMANCE.md; the straight-line reference semantics are
+        pinned by tests/property/test_pop_ready_reference.py).
+
+        Among ready requests the ordering is: demand beats background
+        (only when ``demand_priority``), row-buffer hits beat misses,
+        older beats younger.  Same-address requests are never
+        reordered: a request is ineligible while an older same-address
+        request is still queued — equivalently, while it is not the
+        head of its address chain.
         """
         best_index = -1
-        best_key = None
-        seen_addrs = set()
+        best_request = None
+        best_key = 4                 # above the worst key (2*d + p <= 3)
+        by_addr = self._by_addr
         for index, request in enumerate(self._items):
-            if request.addr not in seen_addrs and ready(request):
-                key = (
-                    0 if (demand is None or demand(request)) else 1,
-                    0 if prefer(request) else 1,
-                )
-                if best_key is None or key < best_key:
-                    best_key, best_index = key, index
-                    if key == (0, 0):
-                        break   # oldest demand row-hit; cannot improve
-            seen_addrs.add(request.addr)
+            bank = request.bank
+            if bank in busy_banks or by_addr[request.addr][0] is not request:
+                continue
+            key = 0 if (demand_priority is False or request.demand) else 2
+            if open_rows[bank] != request.row:
+                key += 1
+            if key < best_key:
+                best_key, best_index, best_request = key, index, request
+                if key == 0:
+                    break            # oldest demand row-hit; cannot improve
         if best_index < 0:
             return None
-        request = self._items[best_index]
         del self._items[best_index]
+        self._unindex(best_request)
         self._wake_one()
-        return request
-
-    def pop_best(self, prefer: Callable[[MemoryRequest], bool]) -> MemoryRequest:
-        """Remove the first request satisfying ``prefer``, else the head.
-
-        This implements FR-FCFS-style scheduling: the controller prefers
-        row-buffer hits but never starves the oldest request for long
-        because the search is bounded by the queue capacity.
-
-        Same-address requests are never reordered with respect to each
-        other — consistency protocols rely on program order between
-        writes to the same hardware block (e.g., a consolidation write
-        followed by a checkpoint write of the same slot).
-        """
-        if not self._items:
-            raise SimulationError(f"pop_best from empty queue {self.name!r}")
-        seen_addrs = set()
-        for index, request in enumerate(self._items):
-            if prefer(request) and request.addr not in seen_addrs:
-                del self._items[index]
-                self._wake_one()
-                return request
-            seen_addrs.add(request.addr)
-        return self.pop()
+        return best_request
 
     def drop_all(self) -> int:
         """Discard everything (crash model: in-flight writes are lost).
@@ -138,6 +162,7 @@ class BoundedQueue:
         """
         count = len(self._items)
         self._items.clear()
+        self._by_addr.clear()
         self._waiters.clear()
         return count
 

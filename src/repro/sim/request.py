@@ -30,13 +30,25 @@ class Origin(enum.Enum):
 
 _req_ids = itertools.count()
 
+# Precomputed per-Origin facts, read once at request construction so the
+# scheduler's candidate loop touches plain attributes, not enum methods.
+_ORIGIN_KEY = {origin: origin.value for origin in Origin}
+_ORIGIN_DEMAND = {origin: origin.counts_as_cpu() for origin in Origin}
+
 
 class MemoryRequest:
-    """One block-sized read or write."""
+    """One block-sized read or write.
+
+    ``bank``/``row`` cache the device's address decode — filled in by
+    the memory controller when the request is submitted, then reused by
+    every scheduling pass instead of re-deriving them per candidate.
+    ``demand``/``origin_key`` denormalize the origin the same way.
+    """
 
     __slots__ = (
         "req_id", "addr", "is_write", "origin", "data",
         "issue_time", "complete_time", "callback",
+        "bank", "row", "demand", "origin_key",
     )
 
     def __init__(
@@ -55,6 +67,10 @@ class MemoryRequest:
         self.issue_time: Optional[int] = None
         self.complete_time: Optional[int] = None
         self.callback = callback
+        self.bank: Optional[int] = None
+        self.row: Optional[int] = None
+        self.demand = _ORIGIN_DEMAND[origin]
+        self.origin_key = _ORIGIN_KEY[origin]
 
     @property
     def latency(self) -> Optional[int]:

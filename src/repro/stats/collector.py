@@ -159,11 +159,24 @@ class StatsCollector:
         origin: str,
         latency: Optional[int] = None,
     ) -> None:
-        """Called by the memory controller at service time."""
-        if device_name == "nvm":
-            group = self.nvm_writes if is_write else self.nvm_reads
-        else:
-            group = self.dram_writes if is_write else self.dram_reads
-        group.add(origin)
+        """Record one serviced request (tests / occasional callers).
+
+        The memory controller's completion path records through
+        :meth:`device_channels` instead: the channels are resolved once
+        per device at construction, so the per-access work is a dict
+        increment and a histogram record with no string dispatch.
+        """
+        reads, writes, read_latency, write_latency = \
+            self.device_channels(device_name)
+        (writes if is_write else reads).add(origin)
         if latency is not None:
-            (self.write_latency if is_write else self.read_latency).record(latency)
+            (write_latency if is_write else read_latency).record(latency)
+
+    def device_channels(self, device_name: str):
+        """(read group, write group, read histogram, write histogram)
+        for one device — pre-bindable references for hot paths."""
+        if device_name == "nvm":
+            return (self.nvm_reads, self.nvm_writes,
+                    self.read_latency, self.write_latency)
+        return (self.dram_reads, self.dram_writes,
+                self.read_latency, self.write_latency)

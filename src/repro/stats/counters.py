@@ -22,6 +22,16 @@ class CounterGroup:
     def add(self, key: str, amount: int = 1) -> None:
         self._counts[key] += amount
 
+    def raw_counts(self) -> Dict[str, int]:
+        """The live underlying mapping, for pre-bound hot paths.
+
+        The memory controller increments per-origin counters once per
+        serviced request; handing it the mapping skips a method call
+        per access while writes remain visible through every reader
+        (``get``/``total``/``items`` all consult the same dict).
+        """
+        return self._counts
+
     def get(self, key: str) -> int:
         return self._counts.get(key, 0)
 

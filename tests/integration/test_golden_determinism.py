@@ -1,0 +1,84 @@
+"""Golden determinism guard for the simulator hot path.
+
+``tests/golden/micro_summaries.json`` snapshots
+``StatsCollector.summary()`` for every compared system on the Fig. 7/8
+micro-benchmark workloads, captured *before* the hot-path optimization
+pass.  This test re-runs the same matrix and asserts the summaries are
+byte-identical — any perf work that changes a single simulated outcome
+(cycle counts, traffic breakdowns, epoch counts, stall attribution)
+fails here, not in a noisy figure diff.
+
+The guard stays in tree to protect future perf work.  Regenerate the
+goldens only when a change is *supposed* to alter simulated results:
+
+    PYTHONPATH=src python tests/integration/test_golden_determinism.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.harness.experiments import MICRO_FOOTPRINT, experiment_config
+from repro.harness.runner import run_workload
+from repro.workloads.tracespec import micro_spec
+
+GOLDEN_PATH = Path(__file__).parent.parent / "golden" / "micro_summaries.json"
+
+# The five compared systems x the three Fig. 7/8 access patterns.
+SYSTEMS = ("ideal_dram", "ideal_nvm", "journal", "shadow", "thynvm")
+WORKLOADS = ("random", "streaming", "sliding")
+NUM_OPS = 2000
+SEED = 1
+
+
+def _cells():
+    for workload in WORKLOADS:
+        for system in SYSTEMS:
+            yield f"{workload}/{system}", workload, system
+
+
+def _run_cell(workload: str, system: str) -> dict:
+    spec = micro_spec(workload, MICRO_FOOTPRINT, NUM_OPS, seed=SEED)
+    result = run_workload(system, spec.build(), experiment_config())
+    # Round-trip through JSON so the comparison sees exactly what the
+    # golden file stores (e.g. dict key ordering, float rendering).
+    return json.loads(json.dumps(result.stats.summary(), sort_keys=True))
+
+
+def _load_goldens() -> dict:
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("cell,workload,system",
+                         list(_cells()),
+                         ids=[cell for cell, _, _ in _cells()])
+def test_summary_matches_golden(cell, workload, system):
+    goldens = _load_goldens()
+    assert cell in goldens, (
+        f"no golden for {cell}; regenerate with "
+        f"`python {Path(__file__).relative_to(Path.cwd())} --regen`")
+    assert _run_cell(workload, system) == goldens[cell], (
+        f"simulated results changed for {cell}: the optimization pass "
+        f"must be byte-identical (see docs/PERFORMANCE.md)")
+
+
+def _regen() -> None:
+    goldens = {cell: _run_cell(workload, system)
+               for cell, workload, system in _cells()}
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as handle:
+        json.dump(goldens, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(goldens)} golden summaries to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    import sys
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

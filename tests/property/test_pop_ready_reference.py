@@ -1,0 +1,83 @@
+"""Property test pinning the indexed ``pop_ready`` to its reference.
+
+``BoundedQueue.pop_ready`` selects with a per-address index and a
+packed integer key (docs/PERFORMANCE.md).  The straight-line reference
+below states the FR-FCFS semantics directly — same-address FIFO by a
+quadratic older-scan, ordering by a lexicographic tuple.  The two must
+pick identical requests in identical order for every enqueue/pop
+interleaving, or an optimization has changed simulated behaviour.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.queueing import BoundedQueue
+from repro.sim.request import MemoryRequest, Origin
+
+NUM_BANKS = 4
+NUM_ADDRS = 12          # small space so same-address chains are common
+
+
+def make_request(addr_idx: int, demand: bool) -> MemoryRequest:
+    request = MemoryRequest(
+        addr_idx * 64, True, Origin.CPU if demand else Origin.MIGRATION)
+    # The controller caches the device decode at submit; mirror that.
+    request.bank = addr_idx % NUM_BANKS
+    request.row = addr_idx // NUM_BANKS
+    return request
+
+
+def reference_pop_ready(items, busy_banks, open_rows, demand_priority):
+    """The pre-optimization semantics, written for clarity not speed."""
+    best = None
+    best_key = None
+    for index, request in enumerate(items):
+        if request.bank in busy_banks:
+            continue
+        if any(older.addr == request.addr for older in items[:index]):
+            continue
+        key = (
+            0 if (not demand_priority or request.demand) else 1,
+            0 if open_rows[request.bank] == request.row else 1,
+            index,
+        )
+        if best_key is None or key < best_key:
+            best, best_key = request, key
+    return best
+
+
+enqueue_op = st.tuples(
+    st.just("enqueue"),
+    st.integers(0, NUM_ADDRS - 1),
+    st.booleans(),
+)
+pop_op = st.tuples(
+    st.just("pop"),
+    st.sets(st.integers(0, NUM_BANKS - 1)),
+    st.lists(st.one_of(st.none(), st.integers(0, NUM_ADDRS // NUM_BANKS)),
+             min_size=NUM_BANKS, max_size=NUM_BANKS),
+    st.booleans(),
+)
+
+
+@given(st.lists(st.one_of(enqueue_op, pop_op), max_size=80))
+@settings(max_examples=200, deadline=None)
+def test_pop_ready_matches_reference(ops):
+    queue = BoundedQueue("q", 16)
+    mirror = []
+    for op in ops:
+        if op[0] == "enqueue":
+            _, addr_idx, demand = op
+            request = make_request(addr_idx, demand)
+            if queue.try_enqueue(request):
+                mirror.append(request)
+        else:
+            _, busy_banks, open_rows, demand_priority = op
+            expected = reference_pop_ready(
+                mirror, busy_banks, open_rows, demand_priority)
+            got = queue.pop_ready(
+                busy_banks, open_rows, demand_priority=demand_priority)
+            assert got is expected
+            if got is not None:
+                mirror.remove(got)
+        assert len(queue) == len(mirror)

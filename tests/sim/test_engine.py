@@ -119,6 +119,35 @@ def test_pending_events_excludes_cancelled():
     assert engine.pending_events == 0
 
 
+def test_pending_events_exact_under_cancel_heavy_schedule():
+    # Regression for the O(1) live-event counter: cancelling enough
+    # events to trigger heap compaction must keep pending_events exact
+    # and must not disturb firing order of the survivors.
+    engine = Engine()
+    fired = []
+    events = [engine.schedule(1000 + i, lambda i=i: fired.append(i))
+              for i in range(500)]
+    live = len(events)
+    for i, event in enumerate(events):
+        if i % 3 != 0:
+            event.cancel()
+            event.cancel()       # cancel is idempotent
+            live -= 1
+        assert engine.pending_events == live
+    engine.run_until_idle()
+    assert fired == [i for i in range(500) if i % 3 == 0]
+    assert engine.pending_events == 0
+
+
+def test_cancel_after_fire_is_a_noop():
+    engine = Engine()
+    event = engine.schedule(1, lambda: None)
+    engine.run_until_idle()
+    assert engine.pending_events == 0
+    event.cancel()
+    assert engine.pending_events == 0
+
+
 def test_events_fired_counter():
     engine = Engine()
     for _ in range(4):

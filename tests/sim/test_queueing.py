@@ -7,8 +7,13 @@ from repro.sim.queueing import BoundedQueue
 from repro.sim.request import MemoryRequest, Origin
 
 
-def req(addr, is_write=True):
-    return MemoryRequest(addr, is_write, Origin.CPU)
+def req(addr, is_write=True, origin=Origin.CPU, bank=0, row=0):
+    request = MemoryRequest(addr, is_write, origin)
+    # The controller normally caches the device decode at submit time;
+    # unit tests assign bank/row directly.
+    request.bank = bank
+    request.row = row
+    return request
 
 
 def test_enqueue_until_full():
@@ -46,52 +51,67 @@ def test_waiter_woken_on_pop():
     assert woken == [1]
 
 
-def test_pop_best_prefers_row_hit():
+def test_pop_ready_prefers_row_hit():
     queue = BoundedQueue("q", 4)
-    a, b, c = req(0), req(64), req(128)
+    a = req(0, bank=0, row=0)
+    b = req(64, bank=1, row=0)
+    c = req(128, bank=2, row=5)
     for r in (a, b, c):
         queue.try_enqueue(r)
-    assert queue.pop_best(lambda r: r.addr == 128) is c
+    # Only c hits an open row; row hits beat FIFO order.
+    got = queue.pop_ready(set(), [None, None, 5, None])
+    assert got is c
 
 
-def test_pop_best_never_reorders_same_address():
+def test_pop_ready_falls_back_to_fifo_among_misses():
     queue = BoundedQueue("q", 4)
-    head = req(0)
-    old = req(64)
-    new = req(64)
-    for r in (head, old, new):
-        queue.try_enqueue(r)
-    # Preferring the *younger* same-address request must not pick it;
-    # pop_best falls back to the FIFO head instead.
-    got = queue.pop_best(lambda r: r is new)
-    assert got is head
+    a = req(0, bank=0, row=0)
+    b = req(64, bank=1, row=0)
+    queue.try_enqueue(a)
+    queue.try_enqueue(b)
+    got = queue.pop_ready(set(), [None, None])
+    assert got is a
 
 
 def test_pop_ready_respects_bank_availability():
     queue = BoundedQueue("q", 4)
-    a, b = req(0), req(64)
+    a = req(0, bank=0)
+    b = req(64, bank=1)
     queue.try_enqueue(a)
     queue.try_enqueue(b)
-    got = queue.pop_ready(lambda r: r.addr == 64, lambda r: False)
+    got = queue.pop_ready({0}, [None, None])
     assert got is b
     assert len(queue) == 1
 
 
 def test_pop_ready_same_address_fifo():
     queue = BoundedQueue("q", 4)
-    old, new = req(64), req(64)
+    old, new = req(64, bank=1, row=3), req(64, bank=1, row=3)
     queue.try_enqueue(old)
     queue.try_enqueue(new)
-    # Even if only the younger one is "ready", it must not bypass the
-    # older same-address request.
-    got = queue.pop_ready(lambda r: r is new, lambda r: True)
-    assert got is None or got is old
+    # The younger same-address request must not bypass the older one,
+    # even when it would be a row hit.
+    got = queue.pop_ready(set(), [None, 3])
+    assert got is old
+
+
+def test_pop_ready_demand_priority():
+    queue = BoundedQueue("q", 4)
+    background = req(0, origin=Origin.MIGRATION, bank=0, row=0)
+    demand = req(64, origin=Origin.CPU, bank=1, row=0)
+    queue.try_enqueue(background)
+    queue.try_enqueue(demand)
+    # With demand priority, the younger CPU read beats the older
+    # background read; without it, FIFO order wins.
+    assert queue.pop_ready(set(), [None, None], demand_priority=True) is demand
+    queue.try_enqueue(demand)
+    assert queue.pop_ready(set(), [None, None]) is background
 
 
 def test_pop_ready_returns_none_when_nothing_ready():
     queue = BoundedQueue("q", 4)
-    queue.try_enqueue(req(0))
-    assert queue.pop_ready(lambda r: False, lambda r: False) is None
+    queue.try_enqueue(req(0, bank=0))
+    assert queue.pop_ready({0}, [None]) is None
 
 
 def test_drop_all_clears_items_and_waiters():
