@@ -13,10 +13,11 @@ from __future__ import annotations
 from typing import Callable, List, Optional, Tuple
 
 from ..config import SystemConfig
+from ..core import probes
 from ..core.checkpoint import CheckpointRun, Job
 from ..core.regions import HardwareLayout
 from ..cpu.state import CpuState
-from ..errors import SimulationError
+from ..errors import CrashedError, SimulationError
 from ..mem.address import AddressMap
 from ..mem.controller import DeviceKind, MemoryController
 from ..sim.engine import Engine
@@ -68,10 +69,17 @@ class StopTheWorldController:
         return None
 
     def start(self) -> None:
+        if self._crashed:
+            raise CrashedError("controller has crashed; recover() it instead")
         if self._started:
             raise SimulationError("controller already started")
         self._started = True
         self._arm_timer()
+
+    @property
+    def crashed(self) -> bool:
+        """True once :meth:`crash` has been called."""
+        return self._crashed
 
     def _arm_timer(self) -> None:
         epoch = self.epoch
@@ -92,7 +100,7 @@ class StopTheWorldController:
     def read_block(self, addr: int, origin: Origin,
                    callback: Callable[[MemoryRequest], None]) -> None:
         if self._crashed:
-            return
+            raise CrashedError("read_block on a crashed controller")
         block = self.addresses.block_index(addr)
         kind, hw_addr = self._read_location(block)
 
@@ -109,7 +117,7 @@ class StopTheWorldController:
                     data: Optional[bytes] = None, callback=None,
                     on_accept=None) -> None:
         if self._crashed:
-            return
+            raise CrashedError("write_block on a crashed controller")
         block = self.addresses.block_index(addr)
         self._do_write(block, addr, origin, data, callback, on_accept)
 
@@ -188,7 +196,7 @@ class StopTheWorldController:
     def persist_barrier(self, callback: Callable[[], None]) -> None:
         """Durability barrier: ends the epoch, fires at its commit."""
         if self._crashed:
-            return
+            raise CrashedError("persist_barrier on a crashed controller")
         target = self.epoch
         self._persist_waiters.append((target, callback))
         self.force_epoch_end("persist")
@@ -203,7 +211,9 @@ class StopTheWorldController:
             callback()
 
     def force_epoch_end(self, reason: str = "manual") -> None:
-        if self._crashed or self._stopped:
+        if self._crashed:
+            raise CrashedError("force_epoch_end on a crashed controller")
+        if self._stopped:
             return
         if self._in_checkpoint:
             if self._end_pending is None:
@@ -272,6 +282,7 @@ class StopTheWorldController:
         for addr, origin, data, callback, on_accept in deferred:
             self.write_block(addr, origin, data, callback, on_accept)
         self._fire_persist_waiters()
+        probes.notify("commit")
         if self._end_pending is not None:
             reason, self._end_pending = self._end_pending, None
             self.force_epoch_end(reason)
@@ -303,6 +314,7 @@ class StopTheWorldController:
         if self._crashed:
             return
         on_commit()
+        probes.notify("aux-commit")
         deferred, self._deferred_writes = self._deferred_writes, []
         for addr, origin, data, callback, on_accept in deferred:
             self.write_block(addr, origin, data, callback, on_accept)
@@ -310,6 +322,8 @@ class StopTheWorldController:
     # --- drain ------------------------------------------------------------------------
 
     def drain(self, on_done: Callable[[], None]) -> None:
+        if self._crashed:
+            raise CrashedError("drain on a crashed controller")
         if self._drain_cb is not None:
             raise SimulationError("drain already in progress")
         self._drain_cb = on_done
@@ -328,6 +342,8 @@ class StopTheWorldController:
     # --- crash ------------------------------------------------------------------------
 
     def crash(self) -> None:
+        if self._crashed:
+            raise CrashedError("controller has already crashed")
         self._crashed = True
         if self._ckpt_run is not None:
             self._ckpt_run.abort()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Optional
 
 from ..config import SystemConfig
+from ..errors import CrashedError
 from ..mem.address import AddressMap
 from ..mem.controller import DeviceKind, MemoryController
 from ..sim.engine import Engine
@@ -52,7 +53,7 @@ class IdealController:
     def read_block(self, addr: int, origin: Origin,
                    callback: Callable[[MemoryRequest], None]) -> None:
         if self._crashed:
-            return
+            raise CrashedError("read_block on a crashed controller")
         hw_addr = self.addresses.block_align(addr)
         request = MemoryRequest(hw_addr, False, origin, callback=callback)
 
@@ -68,7 +69,7 @@ class IdealController:
                     data: Optional[bytes] = None,
                     callback=None, on_accept=None) -> None:
         if self._crashed:
-            return
+            raise CrashedError("write_block on a crashed controller")
         hw_addr = self.addresses.block_align(addr)
         request = MemoryRequest(hw_addr, True, origin, data=data,
                                 callback=callback)
@@ -93,7 +94,13 @@ class IdealController:
         else:
             on_done()
 
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
     def crash(self) -> None:
+        if self._crashed:
+            raise CrashedError("controller has already crashed")
         self._crashed = True
         self.memctrl.crash()
         if self.core is not None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..config import SystemConfig
+from ..core import probes
 from ..core.checkpoint import Job
 from ..mem.controller import DeviceKind, MemoryController
 from ..sim.engine import Engine
@@ -124,6 +125,8 @@ class JournalingController(StopTheWorldController):
                 src_addr=self._slot_addr(slot))
             for block, slot in self._log_plan
         ]
+        if log_stage:
+            probes.notify("table-persist", "log")
         return [log_stage, inplace_stage]
 
     def _on_ckpt_stage(self, stage_index: int) -> None:

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, List, Set, Tuple
 
 from ..config import SystemConfig
+from ..core import probes
 from ..core.checkpoint import Job
 from ..core.regions import REGION_B, other_region
 from ..mem.controller import DeviceKind, MemoryController
@@ -152,6 +153,8 @@ class ShadowPagingController(StopTheWorldController):
                                 origin=Origin.CHECKPOINT,
                                 src_kind=DeviceKind.DRAM,
                                 src_addr=src_base + step))
+        if jobs:
+            probes.notify("table-persist", "pagemap")
         return [jobs]
 
     def _commit_actions(self) -> None:

@@ -8,6 +8,8 @@
     repro trace record --workload sliding --ops 2000 -o sliding.trace
     repro trace run --system thynvm sliding.trace
     repro lint src/ --strict
+    repro fuzz --quick --jobs 4
+    repro fuzz replay 'thynvm/sparse:s1:e2:b16@fence#1+0'
 
 Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.
@@ -23,6 +25,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, List, Optional
 
 from .config import SystemConfig
+from .errors import FuzzFailure, ReproError, exit_code_for
 from .cpu.trace import Op
 from .harness import experiments
 from .harness.runner import run_workload
@@ -316,6 +319,86 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """`repro fuzz`: crash-schedule fuzzing (docs/FUZZING.md).
+
+    ``repro fuzz`` (no subcommand) runs a campaign: replay the corpus,
+    census the probe sites, crash everywhere, minimize and archive new
+    failures.  ``repro fuzz replay <plan>`` reproduces one plan
+    standalone.  ``repro fuzz sites`` prints the crash-site taxonomy.
+
+    Deterministic JSON goes to stdout; progress/ETA to stderr.  A
+    corpus regression always fails (exit 20).  A brand-new failure
+    fails too, unless ``--check`` demotes it to a GitHub warning
+    annotation so an exploratory CI job cannot turn flaky-red.
+    """
+    import time as _time
+
+    from .fuzz import parse_plan, run_plan
+    from .fuzz.campaign import (CampaignOptions, campaign_failed,
+                                run_campaign)
+    from .harness.parallel import DEFAULT_CACHE_DIR
+
+    if args.fuzz_command == "replay":
+        result = run_plan(parse_plan(args.plan))
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        if result.failed:
+            raise FuzzFailure(f"plan {args.plan} failed: {result.detail}")
+        return 0
+
+    if args.fuzz_command == "sites":
+        from .fuzz.sites import coverage_gaps, taxonomy
+        print(json.dumps({"taxonomy": taxonomy(),
+                          "coverage_gaps": coverage_gaps()},
+                         indent=2, sort_keys=True))
+        return 0
+
+    cache_dir = None if args.no_cache else (args.cache_dir
+                                            or DEFAULT_CACHE_DIR)
+    options = CampaignOptions(
+        quick=args.quick, jobs=args.jobs, cache_dir=cache_dir,
+        corpus_dir=args.corpus_dir,
+        minimize_failures=not args.no_minimize)
+    if args.systems:
+        options.systems = tuple(args.systems.split(","))
+    if args.workloads:
+        options.workloads = tuple(args.workloads.split(","))
+
+    started = _time.perf_counter()
+
+    def progress(stage: str, done: int, total: int, label: str,
+                 cached: bool) -> None:
+        elapsed = _time.perf_counter() - started
+        eta = elapsed / done * (total - done) if done else 0.0
+        print(f"[{stage} {done:4d}/{total:4d}] {label:56s} "
+              f"eta {eta:5.1f}s", file=sys.stderr)
+
+    report = run_campaign(options, progress=progress)
+    elapsed = _time.perf_counter() - started
+    print(f"fuzz: {report['plans']} plans, outcomes {report['outcomes']}, "
+          f"{len(report['corpus']['regressions'])} corpus regressions, "
+          f"{elapsed:.1f}s wall (jobs={args.jobs})", file=sys.stderr)
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    regressed, fresh = campaign_failed(report)
+    if regressed:
+        raise FuzzFailure(
+            f"{len(report['corpus']['regressions'])} corpus "
+            f"reproducer(s) failing again — a fixed crash-consistency "
+            f"bug is back")
+    if fresh:
+        count = len(report["failures"])
+        if args.check:
+            # Exploratory CI: surface loudly, but do not fail the job.
+            print(f"::warning title=repro fuzz::{count} new "
+                  f"crash-consistency failure(s); minimized reproducers "
+                  f"archived under {options.corpus_dir}/")
+            return 0
+        raise FuzzFailure(f"{count} new crash-consistency failure(s); "
+                          f"see the JSON report and {options.corpus_dir}/")
+    return 0
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="random",
                         help="random | streaming | sliding | kv-hash | "
@@ -440,11 +523,53 @@ def make_parser() -> argparse.ArgumentParser:
                              help="analyze every file, bypassing the cache")
     lint_parser.set_defaults(func=cmd_lint)
 
+    fuzz_parser = sub.add_parser(
+        "fuzz", help="crash-schedule fuzzing campaign (docs/FUZZING.md)")
+    fuzz_parser.add_argument("--quick", action="store_true",
+                             help="small census shape and plan budget "
+                                  "(CI smoke)")
+    fuzz_parser.add_argument("--check", action="store_true",
+                             help="CI mode: new failures warn (exit 0), "
+                                  "corpus regressions still fail")
+    fuzz_parser.add_argument("--jobs", type=int, default=1,
+                             help="worker processes (1 = serial fallback, "
+                                  "0 = one per CPU)")
+    fuzz_parser.add_argument("--systems", default=None,
+                             help="comma-separated subset of the fuzzed "
+                                  "systems (default: all five)")
+    fuzz_parser.add_argument("--workloads", default=None,
+                             help="comma-separated subset of the fuzz "
+                                  "workloads (default: all)")
+    fuzz_parser.add_argument("--cache-dir", default=None,
+                             help="result cache directory "
+                                  "(default .repro-cache)")
+    fuzz_parser.add_argument("--no-cache", action="store_true",
+                             help="disable the on-disk result cache")
+    fuzz_parser.add_argument("--corpus-dir", default="fuzz-corpus",
+                             help="minimized-reproducer archive "
+                                  "(default fuzz-corpus)")
+    fuzz_parser.add_argument("--no-minimize", action="store_true",
+                             help="report failures without shrinking or "
+                                  "archiving them")
+    fuzz_sub = fuzz_parser.add_subparsers(dest="fuzz_command")
+    fuzz_replay = fuzz_sub.add_parser(
+        "replay", help="re-run one archived/reported crash plan")
+    fuzz_replay.add_argument("plan", help="plan string, e.g. "
+                             "'thynvm/sparse:s1:e2:b16@fence#1+0'")
+    fuzz_sub.add_parser(
+        "sites", help="print the crash-site taxonomy and coverage gaps")
+    fuzz_parser.set_defaults(func=cmd_fuzz, fuzz_command=None)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Console-script entry point."""
+    """Console-script entry point.
+
+    Domain errors (:mod:`repro.errors`) become a one-line message on
+    stderr and a distinct nonzero exit code per error family — no
+    traceback; scripts and CI branch on the code, humans read the line.
+    """
     args = make_parser().parse_args(argv)
     try:
         return args.func(args)
@@ -454,6 +579,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         devnull = open(os.devnull, "w")
         os.dup2(devnull.fileno(), sys.stdout.fileno())
         return 0
+    except ReproError as error:
+        print(f"repro: {type(error).__name__}: {error}", file=sys.stderr)
+        return exit_code_for(error)
 
 
 if __name__ == "__main__":

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Sequence
 from ..mem.controller import DeviceKind, MemoryController
 from ..sim.engine import Engine
 from ..sim.request import MemoryRequest, Origin
+from . import probes
 
 
 @dataclass
@@ -76,12 +77,15 @@ class CheckpointRun:
             return
         self._started = True
         self.start_time = self.engine.now
+        probes.notify("ckpt-start")
         self._next_stage()
 
     def _next_stage(self) -> None:
-        if self._stage_index >= 0 and self.on_stage is not None:
+        if self._stage_index >= 0:
             # All of stage `_stage_index`'s writes are serviced (durable).
-            self.on_stage(self._stage_index)
+            probes.notify("stage-done", str(self._stage_index))
+            if self.on_stage is not None:
+                self.on_stage(self._stage_index)
         self._stage_index += 1
         if self._stage_index >= len(self.stages):
             self._drain_and_commit()
@@ -147,11 +151,13 @@ class CheckpointRun:
     def _drain_and_commit(self) -> None:
         # §4.4: flush the NVM write queue — a fence over everything
         # enqueued so far (later demand writes don't delay the commit).
+        probes.notify("fence")
         self.memctrl.fence_writes(DeviceKind.NVM, self._write_commit)
 
     def _write_commit(self) -> None:
         if self._finished:
             return
+        probes.notify("commit-write")
         request = MemoryRequest(
             self.commit_addr, True, Origin.CHECKPOINT,
             callback=lambda _r: self._committed())

@@ -32,12 +32,13 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..config import SystemConfig
 from ..cpu.state import CpuState
-from ..errors import ProtocolError, SimulationError
+from ..errors import CrashedError, ProtocolError, SimulationError
 from ..mem.address import AddressMap
 from ..mem.controller import DeviceKind, MemoryController
 from ..sim.engine import Engine
 from ..sim.request import MemoryRequest, Origin
 from ..stats.collector import StatsCollector
+from . import probes
 from .btt import BlockTranslationTable
 from .checkpoint import CheckpointRun, Job
 from .coordinator import SchemeCoordinator
@@ -168,10 +169,17 @@ class ThyNVMController:
 
     def start(self) -> None:
         """Arm the epoch timer; call once before simulation starts."""
+        if self._crashed:
+            raise CrashedError("controller has crashed; recover() it instead")
         if self._started:
             raise SimulationError("controller already started")
         self._started = True
         self.epochs.start()
+
+    @property
+    def crashed(self) -> bool:
+        """True once :meth:`crash` has been called (until restore)."""
+        return self._crashed
 
     def stop(self) -> None:
         """Stop generating epochs (end of run); in-flight work finishes."""
@@ -185,7 +193,7 @@ class ThyNVMController:
                    callback: Callable[[MemoryRequest], None]) -> None:
         """Service a load: translate to the software-visible version."""
         if self._crashed:
-            return
+            raise CrashedError("read_block on a crashed controller")
         block = self.addresses.block_index(addr)
         kind, hw_addr = self._visible_location(block)
 
@@ -239,7 +247,7 @@ class ThyNVMController:
         *initiated*); ``callback`` fires when it is serviced.
         """
         if self._crashed:
-            return
+            raise CrashedError("write_block on a crashed controller")
         block = self.addresses.block_index(addr)
         page = self.addresses.page_of_block(block)
         pe = self.ptt.lookup(page)
@@ -448,6 +456,7 @@ class ThyNVMController:
         self.committed_meta = self._snapshot(self.epochs.active_epoch)
         self._retry_blocked_writes()
         self._release_backpressure()
+        probes.notify("aux-commit")
 
     # --- shared write helpers -----------------------------------------------------
 
@@ -570,6 +579,8 @@ class ThyNVMController:
 
     def force_epoch_end(self, reason: str = "manual") -> None:
         """Public hook: end the active epoch as soon as possible."""
+        if self._crashed:
+            raise CrashedError("force_epoch_end on a crashed controller")
         self.epochs.request_end(reason)
 
     def persist_barrier(self, callback: Callable[[], None]) -> None:
@@ -579,7 +590,7 @@ class ThyNVMController:
         covering every store issued so far has committed.
         """
         if self._crashed:
-            return
+            raise CrashedError("persist_barrier on a crashed controller")
         target = self.epochs.active_epoch
         self._persist_waiters.append((target, callback))
         self.epochs.request_end("persist")
@@ -786,6 +797,9 @@ class ThyNVMController:
                 base_offset + (i % area_blocks) * block_bytes)
             jobs.append(Job(dst_kind=DeviceKind.NVM, dst_addr=hw_addr,
                             origin=Origin.CHECKPOINT))
+        if jobs:
+            probes.notify("table-persist",
+                          "btt" if table is self.btt else "ptt")
         return jobs
 
     # ------------------------------------------------------------------
@@ -852,6 +866,7 @@ class ThyNVMController:
         self._retry_blocked_writes()
         self._release_backpressure()
         self._fire_persist_waiters()
+        probes.notify("commit")
         if self._drain_cb is not None:
             self._drain_step()
 
@@ -970,6 +985,7 @@ class ThyNVMController:
     def _start_demotion(self, pe: PageEntry) -> None:
         pe.demote_requested = True
         self.stats.pages_demoted += 1
+        probes.notify("demote", str(pe.page))
         if pe.stable_region == REGION_A:
             src_base = self.layout.page_slot_addr(pe.dram_slot)
             dst_base = self.layout.region_page_addr(REGION_B, pe.page)
@@ -994,6 +1010,7 @@ class ThyNVMController:
             self.layout.release_slot(slot)
             return
         self.stats.pages_promoted += 1
+        probes.notify("promote", str(page))
         self._assemble_page(pe)
 
     def _promotion_region(self, page: int) -> Optional[int]:
@@ -1186,6 +1203,8 @@ class ThyNVMController:
         and checkpoints all live working copies, the second makes the
         resulting metadata durable even for data touched by the first.
         """
+        if self._crashed:
+            raise CrashedError("drain on a crashed controller")
         if self._drain_cb is not None:
             raise SimulationError("drain already in progress")
         self._drain_cb = on_done
@@ -1208,6 +1227,8 @@ class ThyNVMController:
     def crash(self) -> None:
         """Power failure: volatile state (DRAM, queues, live tables,
         CPU, caches) is lost; NVM and the committed metadata survive."""
+        if self._crashed:
+            raise CrashedError("controller has already crashed")
         self._crashed = True
         if self._ckpt_run is not None:
             self._ckpt_run.abort()

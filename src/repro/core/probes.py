@@ -1,0 +1,64 @@
+"""Crash-site probes: named notification points in the protocol.
+
+The fuzz campaign (``repro fuzz``) needs to crash the simulation at the
+*N*-th occurrence of a protocol event — "the second BTT persist", "the
+first commit-record write" — rather than at an arbitrary cycle.  The
+controller and checkpoint machinery call :func:`notify` at each such
+site; an observer installed with :func:`set_observer` counts matches
+and arms the crash.
+
+When no observer is installed (every normal run, every benchmark) a
+probe is a module lookup, an ``is None`` test and a return — cheap
+enough to leave compiled in.  Probe sites fire at epoch-boundary rate,
+never per memory request.
+
+Site kinds (the crash-site taxonomy; see docs/FUZZING.md):
+
+========================  ====================================================
+kind                      fired when
+========================  ====================================================
+``ckpt-start``            a checkpoint run begins issuing its staged jobs
+``stage-done``            one checkpoint stage fully serviced (detail: index)
+``table-persist``         a translation-table persist stage is planned
+                          (detail: ``btt``/``ptt``/``log``/``pagemap``)
+``fence``                 the pre-commit NVM fence is issued
+``commit-write``          the commit record is submitted to NVM
+``commit``                the commit record serviced and metadata flipped
+``aux-commit``            an auxiliary (sub-epoch) checkpoint committed
+``promote``               a page adopted into the DRAM buffer (detail: page)
+``demote``                a page demotion started (detail: page)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+Observer = Callable[[str, str], None]
+
+_observer: Optional[Observer] = None
+
+#: Every site kind notify() may legally be called with.
+SITE_KINDS: Tuple[str, ...] = (
+    "ckpt-start", "stage-done", "table-persist", "fence",
+    "commit-write", "commit", "aux-commit", "promote", "demote",
+)
+
+
+def set_observer(observer: Optional[Observer]) -> Optional[Observer]:
+    """Install (or clear, with None) the process-wide probe observer.
+
+    Returns the previous observer so callers can restore it.  The fuzz
+    runner installs exactly one observer per simulated run; probes are
+    process-global because a run owns its worker process.
+    """
+    global _observer
+    previous = _observer
+    _observer = observer
+    return previous
+
+
+def notify(kind: str, detail: str = "") -> None:
+    """Report one protocol event to the observer, if any is installed."""
+    if _observer is not None:
+        _observer(kind, detail)

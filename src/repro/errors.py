@@ -44,3 +44,47 @@ class WorkloadError(ReproError):
 
 class AllocationError(ReproError):
     """The in-simulation memory allocator ran out of space."""
+
+
+class CrashedError(ReproError):
+    """An operation was submitted to a controller after it crashed.
+
+    Raised by the public controller API (``write_block``, ``read_block``,
+    ``persist_barrier``, ``drain``, a second ``crash()``) once power is
+    lost.  Internal event callbacks that fire after the crash still
+    return silently — those model in-flight work cut off by power loss,
+    not caller protocol violations.
+    """
+
+
+class FuzzFailure(ReproError):
+    """A fuzz campaign found (or re-found) a crash-consistency failure.
+
+    Used by the CLI to turn "the campaign worked and found real bugs"
+    into a distinct exit code from "the tool itself broke".
+    """
+
+
+# CLI exit-code registry: every ReproError subclass maps to a stable,
+# distinct nonzero exit code (argparse owns 2; 1 stays generic).
+EXIT_CODES = {
+    ConfigError: 10,
+    SimulationError: 11,
+    AddressError: 12,
+    TableOverflowError: 13,
+    ProtocolError: 14,
+    RecoveryError: 15,
+    WorkloadError: 16,
+    AllocationError: 17,
+    CrashedError: 18,
+    FuzzFailure: 20,
+    ReproError: 19,
+}
+
+
+def exit_code_for(error: ReproError) -> int:
+    """Most-specific registered exit code for ``error`` (19 = base)."""
+    for klass in type(error).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return EXIT_CODES[ReproError]

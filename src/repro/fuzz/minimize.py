@@ -1,0 +1,69 @@
+"""Greedy shrinking of failing crash plans.
+
+A raw campaign failure often crashes late in a long schedule with a big
+working set and an arbitrary jitter.  The minimizer walks the plan
+toward a canonical small form while the failure keeps reproducing:
+fewer epochs first (the biggest simulation saving), then a smaller
+working set, then an earlier occurrence of the crash site, then zero
+jitter.  Each candidate is a full deterministic re-run, so the result
+is exact, and the loop is bounded by ``max_attempts`` re-runs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from .plan import CrashPlan
+
+#: Floor for the working set; below this schedules degenerate.
+_MIN_BLOCKS = 4
+
+IsFailing = Callable[[CrashPlan], bool]
+
+
+def _shrink_int(value: int, floor: int) -> List[int]:
+    """Candidate reductions for one integer field, biggest jump first."""
+    candidates = []
+    for nxt in (floor, (value + floor) // 2, value - 1):
+        if floor <= nxt < value and nxt not in candidates:
+            candidates.append(nxt)
+    return candidates
+
+
+def minimize(plan: CrashPlan, is_failing: IsFailing,
+             max_attempts: int = 40) -> Tuple[CrashPlan, int]:
+    """Smallest plan (under the shrink order) still failing.
+
+    Returns ``(minimized_plan, attempts_used)``.  ``is_failing`` must be
+    True for ``plan`` itself; the caller guarantees that (the campaign
+    only minimizes observed failures).
+    """
+    current = plan
+    attempts = 0
+
+    def try_candidate(candidate: CrashPlan) -> Optional[CrashPlan]:
+        nonlocal attempts
+        if attempts >= max_attempts:
+            return None
+        attempts += 1
+        return candidate if is_failing(candidate) else None
+
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for field_name, floor in (("epochs", 1), ("blocks", _MIN_BLOCKS),
+                                  ("occurrence", 1)):
+            value = getattr(current, field_name)
+            for smaller in _shrink_int(value, floor):
+                candidate = try_candidate(
+                    current.replace(**{field_name: smaller}))
+                if candidate is not None:
+                    current = candidate
+                    improved = True
+                    break
+        if current.jitter != 0:
+            candidate = try_candidate(current.replace(jitter=0))
+            if candidate is not None:
+                current = candidate
+                improved = True
+    return current, attempts

@@ -1,0 +1,335 @@
+"""Execute one crash plan: drive, crash, recover, check the oracle.
+
+The runner builds a directly-driven system (no CPU model — the same
+shape the property tests use), installs a probe observer that counts
+protocol events, and crashes the controller a fixed jitter after the
+plan's N-th matching event.  After the crash it recovers and checks the
+committed-prefix invariant:
+
+* ThyNVM systems report the epoch they recovered to; the recovered
+  image must equal the golden image captured at exactly that epoch's
+  commit.
+* The journaling and shadow baselines expose only the recovered image
+  (``recovered_block``); it must equal *some* committed golden image —
+  membership is precisely "recovery lands on a committed epoch
+  boundary, never a torn state".
+
+Everything downstream of the plan string is deterministic:
+``run_plan(parse_plan(s)).to_dict()`` is a pure function of ``s`` and
+the code version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..baselines.journaling import JournalingController
+from ..baselines.shadow import ShadowPagingController
+from ..baselines.single_granularity import (block_only_policy,
+                                            page_only_policy)
+from ..config import SystemConfig, small_test_config
+from ..core import probes
+from ..core.controller import ThyNVMController
+from ..core.epoch import Phase
+from ..errors import CrashedError, ReproError, WorkloadError
+from ..mem.controller import MemoryController
+from ..sim.engine import Engine
+from ..sim.request import Origin
+from ..stats.collector import StatsCollector
+from .plan import FUZZ_SYSTEMS, CrashPlan
+from .workloads import build_schedule, observed_blocks
+
+#: Epoch timer parked far in the future: the workload drives boundaries.
+_MANUAL_EPOCHS = 10 ** 12
+
+_THYNVM_POLICIES = {
+    "thynvm": lambda: None,
+    "thynvm_block_only": block_only_policy,
+    "thynvm_page_only": page_only_policy,
+}
+
+
+def fuzz_config() -> SystemConfig:
+    """The fixed configuration every fuzz run uses."""
+    return small_test_config(epoch_cycles=_MANUAL_EPOCHS)
+
+
+@dataclass
+class FuzzResult:
+    """Outcome of one plan (JSON-stable: no wall-clock anywhere)."""
+
+    plan: str
+    outcome: str                      # "pass" | "fail" | "unreached"
+    crash_cycle: Optional[int] = None
+    recovered_epoch: Optional[int] = None
+    committed_epochs: int = 0         # goldens captured before the crash
+    site_counts: Dict[str, int] = field(default_factory=dict)
+    detail: str = ""                  # failure description ("" if none)
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome == "fail"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan,
+            "outcome": self.outcome,
+            "crash_cycle": self.crash_cycle,
+            "recovered_epoch": self.recovered_epoch,
+            "committed_epochs": self.committed_epochs,
+            "site_counts": dict(sorted(self.site_counts.items())),
+            "detail": self.detail,
+        }
+
+
+class CrashInjector:
+    """Counts probe events; arms the crash at the N-th matching one.
+
+    The crash itself is always *scheduled* (never synchronous inside the
+    probe callback) so the protocol method that fired the probe unwinds
+    first — matching the hardware model, where power loss interrupts
+    between device events, not inside a controller state update.
+    """
+
+    def __init__(self, engine: Engine, controller,
+                 plan: Optional[CrashPlan]) -> None:
+        self.engine = engine
+        self.controller = controller
+        self.plan = plan
+        self.counts: Dict[str, int] = {}
+        self.matched = 0
+        self.armed = False
+        self.crash_cycle: Optional[int] = None
+
+    def observe(self, kind: str, detail: str) -> None:
+        key = f"{kind}.{detail}" if detail else kind
+        self.counts[key] = self.counts.get(key, 0) + 1
+        plan = self.plan
+        if plan is None or self.armed:
+            return
+        if kind != plan.site:
+            return
+        if plan.detail and detail != plan.detail:
+            return
+        self.matched += 1
+        if self.matched == plan.occurrence:
+            self.armed = True
+            self.engine.schedule(plan.jitter, self._do_crash)
+
+    def _do_crash(self) -> None:
+        if self.controller.crashed:
+            return
+        self.crash_cycle = self.engine.now
+        self.controller.crash()
+
+
+def _build_controller(system: str, engine: Engine, config: SystemConfig,
+                      stats: StatsCollector):
+    memctrl = MemoryController(engine, config, stats)
+    if system in _THYNVM_POLICIES:
+        policy = _THYNVM_POLICIES[system]()
+        controller = ThyNVMController(engine, config, memctrl, stats, policy)
+    elif system == "journal":
+        controller = JournalingController(engine, config, memctrl, stats)
+    elif system == "shadow":
+        controller = ShadowPagingController(engine, config, memctrl, stats)
+    else:
+        raise WorkloadError(f"unknown fuzz system {system!r} "
+                            f"(have: {', '.join(FUZZ_SYSTEMS)})")
+    controller.start()
+    return controller
+
+
+def _advance(engine: Engine, controller, cond: Callable[[], bool],
+             limit: int = 500_000_000) -> None:
+    """Run until ``cond()``, the controller crashes, or events run dry."""
+    start = engine.now
+    while not cond() and not controller.crashed:
+        if engine.pending_events == 0:
+            return
+        engine.run(until=engine.now + 10_000)
+        if engine.now - start > limit:
+            raise WorkloadError("fuzz drive made no progress "
+                                f"(stuck {limit} cycles)")
+
+
+def _settle_writes(engine: Engine, controller, stats: StatsCollector,
+                   chunk: int = 20_000, rounds: int = 200) -> None:
+    """Advance until issued demand traffic is fully serviced.
+
+    Direct driving has no stalled CPU or cache flush at the boundary, so
+    without this a write still sitting in a device queue (e.g. behind a
+    copy-on-write storm) would be silently excluded from the checkpoint
+    the driver is about to force — a driver race, not a protocol bug.
+    Quiescence is judged purely on simulated state, so it is exactly as
+    deterministic as the rest of the run.
+    """
+    previous = None
+    for _ in range(rounds):
+        if controller.crashed:
+            return
+        current = (stats.dram_writes.total(), stats.nvm_writes.total(),
+                   stats.dram_reads.total(), stats.nvm_reads.total(),
+                   engine.pending_events)
+        if current == previous:
+            return
+        previous = current
+        engine.run(until=engine.now + chunk)
+
+
+def _ready_for_boundary(system: str, controller) -> Callable[[], bool]:
+    if system in _THYNVM_POLICIES:
+        return lambda: controller.epochs.phase is Phase.EXECUTING
+    return lambda: not controller._in_checkpoint
+
+
+def _committed_past(system: str, controller,
+                    epoch: int) -> Callable[[], bool]:
+    if system in _THYNVM_POLICIES:
+        return lambda: controller.committed_meta.epoch >= epoch
+    return lambda: controller.epoch > epoch
+
+
+def _recovered_image(system: str, controller,
+                     blocks: List[int]) -> Dict[str, object]:
+    """Post-crash image over the observed blocks, plus the recovered
+    epoch where the system reports one (ThyNVM variants)."""
+    if system in _THYNVM_POLICIES:
+        recovered = controller.recover()
+        image = {block: recovered.visible_block(block) for block in blocks}
+        return {"epoch": recovered.epoch, "image": image}
+    image = {block: controller.recovered_block(block) for block in blocks}
+    return {"epoch": None, "image": image}
+
+
+def run_plan(plan: CrashPlan,
+             config: Optional[SystemConfig] = None) -> FuzzResult:
+    """Execute one crash plan end to end (pure function of the plan)."""
+    config = config if config is not None else fuzz_config()
+    schedule = build_schedule(plan.workload, plan.seed, plan.epochs,
+                              plan.blocks, config)
+    blocks = observed_blocks(schedule)
+    empty = bytes(config.block_bytes)
+
+    engine = Engine()
+    stats = StatsCollector(config.block_bytes)
+    controller = _build_controller(plan.system, engine, config, stats)
+    injector = CrashInjector(engine, controller, plan)
+
+    shadow: Dict[int, bytes] = {}
+    goldens: Dict[int, Dict[int, bytes]] = {-1: {}}
+    # Redo journaling commits *early*: once the log stage is durable the
+    # epoch is recoverable by replay, before the commit record lands.
+    # The image pending at the last forced boundary is therefore also a
+    # legal recovery point for "journal" (and only for it).
+    pending: Optional[Dict[str, object]] = None
+
+    previous = probes.set_observer(injector.observe)
+    try:
+        for epoch, writes in enumerate(schedule):
+            for block, data in writes:
+                if controller.crashed:
+                    break
+                try:
+                    controller.write_block(block * config.block_bytes,
+                                           Origin.CPU, data=data)
+                except CrashedError:
+                    break
+                shadow[block] = data
+                engine.run(until=engine.now + 1_000)
+            if controller.crashed:
+                break
+            _settle_writes(engine, controller, stats)
+            _advance(engine, controller,
+                     _ready_for_boundary(plan.system, controller))
+            if controller.crashed:
+                break
+            pending = {"epoch": epoch, "image": dict(shadow)}
+            try:
+                controller.force_epoch_end("fuzz")
+            except CrashedError:
+                break
+            _advance(engine, controller,
+                     _committed_past(plan.system, controller, epoch))
+            # The commit may have landed in the same advance step as the
+            # crash: the golden is valid whenever the commit happened
+            # (no writes were issued in between), crash or not.
+            if _committed_past(plan.system, controller, epoch)():
+                goldens[epoch] = dict(shadow)
+            if controller.crashed:
+                break
+        # Let any jitter-delayed crash (and post-crash cancellations)
+        # play out before deciding the site was never reached.
+        engine.run(until=engine.now + 1_000_000)
+    finally:
+        probes.set_observer(previous)
+
+    result = FuzzResult(plan=str(plan), outcome="pass",
+                        crash_cycle=injector.crash_cycle,
+                        committed_epochs=len(goldens) - 1,
+                        site_counts=injector.counts)
+    if not controller.crashed:
+        result.outcome = "unreached"
+        result.detail = (f"site {plan.site}"
+                         f"{'.' + plan.detail if plan.detail else ''} "
+                         f"matched {injector.matched} time(s); "
+                         f"occurrence {plan.occurrence} never fired")
+        return result
+
+    try:
+        recovered = _recovered_image(plan.system, controller, blocks)
+    except ReproError as error:
+        result.outcome = "fail"
+        result.detail = f"recovery raised {type(error).__name__}: {error}"
+        return result
+
+    result.recovered_epoch = recovered["epoch"]
+    image = recovered["image"]
+    if recovered["epoch"] is not None:
+        if recovered["epoch"] not in goldens:
+            result.outcome = "fail"
+            result.detail = (f"recovered to epoch {recovered['epoch']}, "
+                            f"which never committed "
+                            f"(committed: {sorted(goldens)})")
+            return result
+        golden = goldens[recovered["epoch"]]
+        for block in blocks:
+            expected = golden.get(block, empty)
+            if image[block] != expected:
+                result.outcome = "fail"
+                result.detail = (f"block {block} mismatch after recovery "
+                                 f"to epoch {recovered['epoch']}")
+                return result
+        return result
+
+    # Baselines: the image must match some committed boundary exactly.
+    candidates = [(epoch, goldens[epoch])
+                  for epoch in sorted(goldens, reverse=True)]
+    if plan.system == "journal" and pending is not None:
+        candidates.insert(0, (pending["epoch"], pending["image"]))
+    for epoch, golden in candidates:
+        if all(image[block] == golden.get(block, empty)
+               for block in blocks):
+            result.recovered_epoch = epoch
+            return result
+    result.outcome = "fail"
+    result.detail = ("recovered image matches no committed epoch "
+                     f"boundary (committed: {sorted(goldens)})")
+    return result
+
+
+def census(system: str, workload: str, seed: int, epochs: int,
+           blocks: int, config: Optional[SystemConfig] = None,
+           ) -> Dict[str, int]:
+    """Site-occurrence counts for one system×workload, without a crash.
+
+    Runs the exact schedule a plan with these shape parameters would
+    drive, counting every probe event: the concrete plan space the
+    campaign enumerates over.
+    """
+    probe_plan = CrashPlan(system=system, workload=workload, seed=seed,
+                           epochs=epochs, blocks=blocks,
+                           site="ckpt-start", occurrence=10 ** 9)
+    result = run_plan(probe_plan, config)
+    return result.site_counts

@@ -144,6 +144,25 @@ def _cache_store(cache_dir: Path, key: str, point: RunPoint,
 
 # --- execution -----------------------------------------------------------
 
+def fan_out(worker: Callable, payloads: Sequence, jobs: int = 1) -> List:
+    """Map ``worker`` over ``payloads``, preserving payload order.
+
+    The generic core of this module, shared with the fuzz campaign:
+    ``jobs=1`` runs inline (serial fallback, same code path),
+    ``jobs>1`` fans out over a ``ProcessPoolExecutor`` (worker and
+    payloads must pickle), ``jobs<=0`` means one worker per CPU.
+    Results always come back in payload order, never completion order.
+    """
+    payloads = list(payloads)
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    if len(payloads) > 1 and jobs > 1:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(payloads))) as pool:
+            return list(pool.map(worker, payloads))
+    return [worker(payload) for payload in payloads]
+
+
 def _simulate(payload: Tuple[str, TraceSpec, SystemConfig, int]
               ) -> Tuple[Dict[str, object], float]:
     """Worker body: rebuild the trace, run it, snapshot the stats.
@@ -191,11 +210,7 @@ def run_points(points: Sequence[RunPoint], jobs: int = 1,
 
     payloads = [(points[i].system, points[i].trace, points[i].config,
                  max_events) for i in misses]
-    if misses and jobs > 1:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
-            outcomes = list(pool.map(_simulate, payloads))
-    else:
-        outcomes = [_simulate(payload) for payload in payloads]
+    outcomes = fan_out(_simulate, payloads, jobs=jobs)
 
     for index, (snapshot, wall) in zip(misses, outcomes):
         if cache:

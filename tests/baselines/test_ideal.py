@@ -4,6 +4,7 @@ import pytest
 
 from repro.baselines.ideal import IdealController
 from repro.config import small_test_config
+from repro.errors import CrashedError
 from repro.mem.controller import DeviceKind, MemoryController
 from repro.sim.engine import Engine
 from repro.sim.request import Origin
@@ -56,9 +57,9 @@ def test_crash_then_reads_rejected(setup):
     controller.write_block(0, Origin.CPU, data=b"x" * 64)
     engine.run_until_idle()
     controller.crash()
-    got = []
-    controller.read_block(0, Origin.CPU, lambda r: got.append(r))
-    engine.run_until_idle()
-    assert not got
+    with pytest.raises(CrashedError):
+        controller.read_block(0, Origin.CPU, lambda r: None)
+    with pytest.raises(CrashedError):
+        controller.crash()
     if device is DeviceKind.NVM:
         assert controller.visible_block_bytes(0) == b"x" * 64

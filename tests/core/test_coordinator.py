@@ -1,10 +1,24 @@
-"""Unit tests for the scheme coordinator's selection policies."""
+"""Unit tests for the scheme coordinator's selection policies, plus
+multi-controller crash isolation (each controller has its own
+coordinator; crashing one must not disturb another's scheme state)."""
 
+from types import SimpleNamespace
+
+import pytest
+
+from repro.config import small_test_config
 from repro.core.btt import BlockTranslationTable
+from repro.core.controller import ThyNVMController
 from repro.core.coordinator import SchemeCoordinator
 from repro.core.metadata import GcState, PageEntry
 from repro.core.ptt import PageTranslationTable
 from repro.core.regions import REGION_A, REGION_B
+from repro.errors import CrashedError
+from repro.mem.controller import MemoryController
+from repro.sim.engine import Engine
+from repro.stats.collector import StatsCollector
+
+from ..conftest import MANUAL_EPOCHS, end_epoch, pad, settle, write_block
 
 
 def make_coordinator(**kwargs):
@@ -96,3 +110,95 @@ def test_instant_removals_split_by_region():
                BlockEntry(block=1, stable_region=REGION_A)]
     instant = SchemeCoordinator.instant_removals(entries)
     assert [e.block for e in instant] == [0]
+
+
+# ---------------------------------------------------------------------
+# Multi-controller crash isolation
+# ---------------------------------------------------------------------
+
+def make_controller_pair():
+    """Two independent ThyNVM controllers sharing one simulation
+    engine — the multi-memory-controller configuration — each with its
+    own memory controller, stats and (inside the controller) its own
+    scheme coordinator."""
+    engine = Engine()
+    systems = []
+    for _ in range(2):
+        config = small_test_config(epoch_cycles=MANUAL_EPOCHS)
+        stats = StatsCollector(config.block_bytes)
+        memctrl = MemoryController(engine, config, stats)
+        controller = ThyNVMController(engine, config, memctrl, stats)
+        controller.start()
+        systems.append(SimpleNamespace(engine=engine, config=config,
+                                       stats=stats, memctrl=memctrl,
+                                       ctl=controller))
+    return systems
+
+
+def hot_page(system, page, tag):
+    config = system.config
+    first = page * config.blocks_per_page
+    for offset in range(config.blocks_per_page):
+        write_block(system, first + offset, tag + bytes([offset]))
+    settle(system.engine)
+
+
+def test_crashing_one_controller_leaves_the_other_running():
+    a, b = make_controller_pair()
+    hot_page(a, 2, b"a")
+    hot_page(b, 2, b"b")
+    end_epoch(a)
+    end_epoch(b)
+    assert 2 in a.ctl.ptt and 2 in b.ctl.ptt       # both promoted
+    first = 2 * a.config.blocks_per_page
+
+    # Dirty the promoted page on both; start A's page checkpoint and
+    # crash it mid-flight.  B shares the engine but nothing else.
+    write_block(a, first + 1, b"a-e1")
+    write_block(b, first + 1, b"b-e1")
+    settle(a.engine)
+    end_epoch(a, wait_commit=False)
+    a.ctl.crash()
+
+    # B's scheme transition proceeds to commit, unaffected.
+    end_epoch(b)
+    assert b.ctl.committed_meta.epoch >= 1
+    assert 2 in b.ctl.ptt
+    assert b.ctl.visible_block_bytes(first + 1) == pad(b"b-e1")
+    write_block(b, first + 3, b"b-e2")             # still accepts traffic
+    settle(b.engine)
+
+    # A is dead to traffic but recovers its committed boundary.
+    with pytest.raises(CrashedError):
+        write_block(a, first + 1, b"late")
+    recovered = a.ctl.recover()
+    assert recovered.epoch == 0
+    for offset in range(a.config.blocks_per_page):
+        assert recovered.visible_block(first + offset) == \
+            pad(b"a" + bytes([offset]))
+
+
+def test_both_controllers_recover_after_staggered_crashes():
+    a, b = make_controller_pair()
+    for block, (sys_, tag) in enumerate(((a, b"x"), (b, b"y"))):
+        for offset in range(6):
+            write_block(sys_, block * 8 + offset, tag + bytes([offset]))
+    settle(a.engine)
+    end_epoch(a)
+    end_epoch(b)
+
+    # Crash A mid-checkpoint of epoch 1, B after its commit.
+    write_block(a, 0, b"x-new")
+    write_block(b, 8, b"y-new")
+    settle(a.engine)
+    end_epoch(a, wait_commit=False)
+    a.ctl.crash()
+    end_epoch(b)
+    b.ctl.crash()
+
+    rec_a = a.ctl.recover()
+    rec_b = b.ctl.recover()
+    assert rec_a.epoch == 0                     # epoch 1 never committed
+    assert rec_a.visible_block(0) == pad(b"x" + bytes([0]))
+    assert rec_b.epoch == 1                     # committed before crash
+    assert rec_b.visible_block(8) == pad(b"y-new")

@@ -1,0 +1,104 @@
+"""The hardened crash API: dead controllers refuse work, loudly.
+
+After ``crash()``, every *public* entry point raises
+:class:`~repro.errors.CrashedError` — silent no-ops would let a test
+harness (or the fuzzer) keep driving a dead controller and mistake the
+absence of effects for consistency.  Internal event callbacks still
+return silently: they model in-flight work cut off by power loss.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.baselines.journaling import JournalingController
+from repro.baselines.shadow import ShadowPagingController
+from repro.config import small_test_config
+from repro.core.controller import ThyNVMController
+from repro.errors import CrashedError
+from repro.mem.controller import MemoryController
+from repro.sim.engine import Engine
+from repro.sim.request import Origin
+from repro.stats.collector import StatsCollector
+
+from ..conftest import MANUAL_EPOCHS, pad, settle
+
+CONTROLLERS = {
+    "thynvm": ThyNVMController,
+    "journal": JournalingController,
+    "shadow": ShadowPagingController,
+}
+
+
+def make_system(kind):
+    config = small_test_config(epoch_cycles=MANUAL_EPOCHS)
+    engine = Engine()
+    stats = StatsCollector(config.block_bytes)
+    memctrl = MemoryController(engine, config, stats)
+    controller = CONTROLLERS[kind](engine, config, memctrl, stats)
+    controller.start()
+    return SimpleNamespace(engine=engine, config=config, stats=stats,
+                           memctrl=memctrl, ctl=controller)
+
+
+@pytest.fixture(params=sorted(CONTROLLERS))
+def crashed_system(request):
+    system = make_system(request.param)
+    system.ctl.write_block(0, Origin.CPU, data=pad(b"before"))
+    settle(system.engine)
+    system.ctl.crash()
+    return system
+
+
+def test_crashed_flag_is_exposed(crashed_system):
+    assert crashed_system.ctl.crashed is True
+
+
+def test_second_crash_raises(crashed_system):
+    with pytest.raises(CrashedError):
+        crashed_system.ctl.crash()
+
+
+def test_write_after_crash_raises(crashed_system):
+    with pytest.raises(CrashedError):
+        crashed_system.ctl.write_block(64, Origin.CPU, data=pad(b"late"))
+
+
+def test_read_after_crash_raises(crashed_system):
+    with pytest.raises(CrashedError):
+        crashed_system.ctl.read_block(0, Origin.CPU, lambda req: None)
+
+
+def test_persist_barrier_after_crash_raises(crashed_system):
+    with pytest.raises(CrashedError):
+        crashed_system.ctl.persist_barrier(lambda: None)
+
+
+def test_force_epoch_end_after_crash_raises(crashed_system):
+    with pytest.raises(CrashedError):
+        crashed_system.ctl.force_epoch_end("test")
+
+
+def test_drain_after_crash_raises(crashed_system):
+    with pytest.raises(CrashedError):
+        crashed_system.ctl.drain(lambda: None)
+
+
+def test_start_after_crash_raises(crashed_system):
+    with pytest.raises(CrashedError):
+        crashed_system.ctl.start()
+
+
+def test_in_flight_events_do_not_raise(crashed_system):
+    """Events already scheduled before the crash must drain without
+    raising — they are the in-flight work power loss cut off."""
+    settle(crashed_system.engine)
+    assert crashed_system.ctl.crashed
+
+
+def test_live_controller_unaffected():
+    system = make_system("thynvm")
+    system.ctl.write_block(0, Origin.CPU, data=pad(b"fine"))
+    settle(system.engine)
+    assert not system.ctl.crashed
+    assert system.ctl.visible_block_bytes(0) == pad(b"fine")

@@ -1,7 +1,12 @@
 """Functional tests of promotion, demotion, cooperation and GC (§3.4)."""
 
+import pytest
+
 from repro.config import small_test_config
+from repro.core import probes
+from repro.core.epoch import Phase
 from repro.core.regions import REGION_A, REGION_B
+from repro.errors import CrashedError
 from repro.mem.controller import DeviceKind
 
 from ..conftest import (MANUAL_EPOCHS, end_epoch, make_direct, pad,
@@ -117,6 +122,103 @@ def test_gc_consolidates_idle_blocks_to_home():
     # Consolidated data must be readable from home.
     for block in range(24):
         assert s.ctl.visible_block_bytes(block) == pad(bytes([block]))
+
+
+def advance_until(system, cond, limit=500_000_000):
+    """Like run_until, but a crash is also a legal stop condition."""
+    start = system.engine.now
+    while not cond() and not system.ctl.crashed:
+        if system.engine.pending_events == 0:
+            break
+        system.engine.run(until=system.engine.now + 100_000)
+        if system.engine.now - start > limit:
+            break
+
+
+def test_crash_mid_first_page_checkpoint_recovers_block_data():
+    """A crash during the page's *first* writeback (right after
+    promotion) must recover the block-granularity data the previous
+    epoch committed — the cross-scheme transition hazard of §3.4."""
+    s = make_direct()
+    hot_page_writes(s, page=2)
+    end_epoch(s)                          # commits epoch 0, promotes
+    assert 2 in s.ctl.ptt
+    first = 2 * s.config.blocks_per_page
+    write_block(s, first + 1, b"e1new")
+    settle(s.engine)
+    end_epoch(s, wait_commit=False)       # page checkpoint in flight
+    s.ctl.crash()
+    recovered = s.ctl.recover()
+    assert recovered.epoch == 0
+    # Epoch 0 checkpointed the page's blocks via the BTT (the page was
+    # promoted only *at* that commit), so recovery must read the
+    # remapped block copies, never the half-written page region.
+    for offset in range(s.config.blocks_per_page):
+        assert recovered.visible_block(first + offset) == \
+            pad(b"h" + bytes([offset]))
+
+
+def test_crash_mid_demotion_recovers_a_committed_boundary():
+    """Arm a crash on the demotion probe (the page is leaving the PTT
+    and its data is being consolidated) and check the committed-prefix
+    invariant still holds for the demoted page and the live traffic."""
+    s = make_direct()
+    hot_page_writes(s, page=2)
+    end_epoch(s)
+    first = 2 * s.config.blocks_per_page
+    page_image = {first + offset: pad(b"h" + bytes([offset]))
+                  for offset in range(s.config.blocks_per_page)}
+    goldens = {0: dict(page_image)}
+    armed = []
+
+    def observer(kind, detail):
+        if kind == "demote" and not armed:
+            armed.append(s.engine.now)
+            s.engine.schedule(0, s.ctl.crash)
+
+    previous = probes.set_observer(observer)
+    try:
+        for index in range(10):           # idle epochs age the page
+            if s.ctl.crashed:
+                break
+            data = b"keep" + bytes([index])
+            write_block(s, 0, data)
+            settle(s.engine)
+            if s.ctl.crashed:
+                break
+            advance_until(s, lambda: s.ctl.epochs.phase is Phase.EXECUTING)
+            if s.ctl.crashed:
+                break
+            epoch = s.ctl.epochs.active_epoch
+            s.ctl.force_epoch_end("test")
+            advance_until(s, lambda: s.ctl.committed_meta.epoch >= epoch)
+            if s.ctl.committed_meta.epoch >= epoch:
+                goldens[epoch] = {**page_image, 0: pad(data)}
+            if s.ctl.crashed:
+                break
+    finally:
+        probes.set_observer(previous)
+    assert armed, "demotion never started"
+    assert s.ctl.crashed
+    recovered = s.ctl.recover()
+    assert recovered.epoch in goldens
+    golden = goldens[recovered.epoch]
+    for block, expected in golden.items():
+        assert recovered.visible_block(block) == expected, (
+            f"block {block} mismatch after recovery to epoch "
+            f"{recovered.epoch}")
+
+
+def test_crashed_controller_rejects_scheme_traffic():
+    s = make_direct()
+    hot_page_writes(s, page=2)
+    end_epoch(s)
+    s.ctl.crash()
+    first = 2 * s.config.blocks_per_page
+    with pytest.raises(CrashedError):
+        write_block(s, first + 1, b"late")
+    with pytest.raises(CrashedError):
+        s.ctl.force_epoch_end("test")
 
 
 def test_btt_overflow_forces_epoch_end():

@@ -1,0 +1,49 @@
+"""The minimizer: greedy, bounded, and convergent."""
+
+from repro.fuzz.minimize import minimize
+from repro.fuzz.plan import CrashPlan
+
+
+def big_plan(**overrides):
+    fields = dict(system="thynvm", workload="sparse", seed=1, epochs=8,
+                  blocks=32, site="commit", occurrence=6, jitter=2500)
+    fields.update(overrides)
+    return CrashPlan(**fields)
+
+
+def test_minimizes_to_the_predicate_floor():
+    # "Fails" whenever the crash arms at all — everything shrinks.
+    plan, attempts = minimize(big_plan(), lambda p: True)
+    assert (plan.epochs, plan.blocks, plan.occurrence, plan.jitter) == \
+        (1, 4, 1, 0)
+    assert attempts <= 40
+
+
+def test_preserves_fields_the_failure_needs():
+    # Reproduces only with >= 3 epochs and the late occurrence.
+    def is_failing(plan):
+        return plan.epochs >= 3 and plan.occurrence >= 4
+    plan, _attempts = minimize(big_plan(), is_failing)
+    assert plan.epochs == 3
+    assert plan.occurrence == 4
+    assert plan.blocks == 4 and plan.jitter == 0
+
+
+def test_attempt_budget_is_respected():
+    calls = []
+
+    def is_failing(plan):
+        calls.append(plan)
+        return True
+
+    _plan, attempts = minimize(big_plan(), is_failing, max_attempts=3)
+    assert attempts == 3
+    assert len(calls) == 3
+
+
+def test_already_minimal_plan_is_stable():
+    plan = CrashPlan(system="thynvm", workload="sparse", seed=1, epochs=1,
+                     blocks=4, site="commit", occurrence=1, jitter=0)
+    minimized, attempts = minimize(plan, lambda p: True)
+    assert minimized == plan
+    assert attempts == 0

@@ -1,0 +1,50 @@
+"""Plan strings: the fuzzer's exactly-reproducible coordinates."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.fuzz.plan import CrashPlan, parse_plan
+
+
+def test_round_trip_without_detail():
+    plan = CrashPlan(system="thynvm", workload="sparse", seed=7,
+                     epochs=3, blocks=24, site="fence",
+                     occurrence=2, jitter=150)
+    assert parse_plan(str(plan)) == plan
+
+
+def test_round_trip_with_detail():
+    plan = CrashPlan(system="journal", workload="hotpage", seed=1,
+                     epochs=2, blocks=16, site="stage-done", detail="2",
+                     occurrence=1, jitter=0)
+    text = str(plan)
+    assert "stage-done.2" in text
+    assert parse_plan(text) == plan
+
+
+def test_parse_rejects_garbage():
+    for bad in ("", "garbage", "thynvm/sparse", "thynvm:s1:e2:b16@x#1+0"):
+        with pytest.raises(WorkloadError):
+            parse_plan(bad)
+
+
+def test_plan_validates_fields():
+    with pytest.raises(WorkloadError):
+        CrashPlan(system="nope", workload="sparse", seed=1, epochs=1,
+                  blocks=8, site="fence")
+    with pytest.raises(WorkloadError):
+        CrashPlan(system="thynvm", workload="sparse", seed=1, epochs=0,
+                  blocks=8, site="fence")
+    with pytest.raises(WorkloadError):
+        CrashPlan(system="thynvm", workload="sparse", seed=1, epochs=1,
+                  blocks=8, site="not-a-site")
+
+
+def test_replace_returns_new_validated_plan():
+    plan = CrashPlan(system="thynvm", workload="sparse", seed=1,
+                     epochs=4, blocks=24, site="commit")
+    smaller = plan.replace(epochs=2, blocks=8)
+    assert (smaller.epochs, smaller.blocks) == (2, 8)
+    assert plan.epochs == 4                      # original untouched
+    with pytest.raises(WorkloadError):
+        plan.replace(occurrence=0)

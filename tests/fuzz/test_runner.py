@@ -1,0 +1,96 @@
+"""Deterministic injection and the committed-prefix oracle."""
+
+import pytest
+
+from repro.errors import CrashedError
+from repro.fuzz.plan import FUZZ_SYSTEMS, CrashPlan, parse_plan
+from repro.fuzz.runner import census, run_plan
+
+
+def plan_for(system, site, occurrence=1, jitter=0, workload="sparse",
+             detail=""):
+    return CrashPlan(system=system, workload=workload, seed=1, epochs=2,
+                     blocks=12, site=site, detail=detail,
+                     occurrence=occurrence, jitter=jitter)
+
+
+def test_same_plan_string_gives_identical_result():
+    """The tentpole's determinism contract: one plan string is one
+    reproducible simulation, byte for byte."""
+    plan = parse_plan("thynvm/sparse:s1:e2:b12@fence#2+150")
+    first = run_plan(plan).to_dict()
+    second = run_plan(parse_plan(str(plan))).to_dict()
+    assert first == second
+    assert first["outcome"] == "pass"
+    assert first["crash_cycle"] is not None
+
+
+@pytest.mark.parametrize("system", FUZZ_SYSTEMS)
+def test_commit_crash_passes_on_every_system(system):
+    result = run_plan(plan_for(system, "commit"))
+    assert result.outcome == "pass", result.detail
+    assert result.crash_cycle is not None
+
+
+def test_census_counts_sites_without_crashing():
+    counts = census("thynvm", "sparse", seed=1, epochs=2, blocks=12)
+    # Every epoch boundary runs one checkpoint: start, stages, fence,
+    # commit record, metadata flip.
+    assert counts["ckpt-start"] == 2
+    assert counts["fence"] == 2
+    assert counts["commit"] == 2
+    assert counts["table-persist.btt"] >= 1
+
+
+def test_census_reflects_workload_shape():
+    sparse = census("thynvm", "sparse", seed=1, epochs=2, blocks=12)
+    hot = census("thynvm", "hotpage", seed=1, epochs=2, blocks=12)
+    # The hot page promotes after its first full-page epoch, adding
+    # promotion and page-table persist sites to the crash surface.
+    assert "promote.2" not in sparse
+    assert "promote.2" in hot
+    assert "table-persist.ptt" in hot
+
+
+def test_unreached_occurrence_reports_counts():
+    result = run_plan(plan_for("thynvm", "fence", occurrence=999))
+    assert result.outcome == "unreached"
+    assert result.crash_cycle is None
+    assert result.site_counts["fence"] == 2
+
+
+def test_jitter_moves_the_crash_cycle():
+    base = run_plan(plan_for("thynvm", "fence"))
+    late = run_plan(plan_for("thynvm", "fence", jitter=500))
+    assert base.crash_cycle is not None and late.crash_cycle is not None
+    assert late.crash_cycle == base.crash_cycle + 500
+
+
+def test_detail_filter_selects_one_stage():
+    result = run_plan(plan_for("journal", "stage-done", detail="1"))
+    assert result.outcome == "pass"
+    assert result.crash_cycle is not None
+
+
+def test_crashed_controller_rejects_further_use():
+    plan = plan_for("thynvm", "ckpt-start")
+    result = run_plan(plan)
+    assert result.outcome == "pass"
+    # The runner itself relies on the hardened crash API: a second
+    # crash on the same controller raises, never silently no-ops.
+    from repro.config import small_test_config
+    from repro.core.controller import ThyNVMController
+    from repro.mem.controller import MemoryController
+    from repro.sim.engine import Engine
+    from repro.stats.collector import StatsCollector
+
+    config = small_test_config(epoch_cycles=10 ** 12)
+    engine = Engine()
+    stats = StatsCollector(config.block_bytes)
+    controller = ThyNVMController(engine, config,
+                                  MemoryController(engine, config, stats),
+                                  stats)
+    controller.start()
+    controller.crash()
+    with pytest.raises(CrashedError):
+        controller.crash()

@@ -1,0 +1,35 @@
+"""The crash-site taxonomy must track the static persist surface."""
+
+from repro.analysis.effects import Effect
+from repro.core import probes
+from repro.fuzz.sites import (KIND_DESCRIPTIONS, KIND_EFFECTS,
+                              coverage_gaps, effect_surface, taxonomy)
+
+
+def test_every_probe_kind_is_catalogued():
+    assert set(KIND_EFFECTS) == set(probes.SITE_KINDS)
+    assert set(KIND_DESCRIPTIONS) == set(probes.SITE_KINDS)
+
+
+def test_static_surface_is_nonempty():
+    surface = effect_surface()
+    # The protocol sources contain persist, fence and commit events.
+    assert surface[Effect.TABLE_PERSIST.value]
+    assert surface[Effect.FENCE.value]
+    assert surface[Effect.COMMIT.value]
+
+
+def test_no_coverage_gaps():
+    """Every statically-classified persist/fence/commit effect has a
+    probe kind covering it — a new persist path cannot silently escape
+    the fuzzer's crash surface."""
+    assert coverage_gaps() == {}
+
+
+def test_taxonomy_anchors_effect_kinds_to_static_sites():
+    catalogue = taxonomy()
+    for kind, entry in catalogue.items():
+        if KIND_EFFECTS[kind]:
+            assert entry["static_sites"], (
+                f"probe kind {kind!r} claims effects "
+                f"{entry['effects']} but anchors no static site")

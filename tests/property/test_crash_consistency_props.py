@@ -8,13 +8,23 @@ protocol verification [66].
 """
 
 import random
+from types import SimpleNamespace
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.baselines.journaling import JournalingController
+from repro.baselines.shadow import ShadowPagingController
+from repro.config import small_test_config
 from repro.core.epoch import Phase
+from repro.mem.controller import MemoryController
+from repro.sim.engine import Engine
+from repro.sim.request import Origin
+from repro.stats.collector import StatsCollector
 
-from ..conftest import make_direct, pad, run_until, settle, write_block
+from ..conftest import (MANUAL_EPOCHS, make_direct, pad, run_until,
+                        settle, write_block)
 
 BLOCKS = 40
 
@@ -113,3 +123,75 @@ def test_random_mixed_workload_with_hot_pages_recovers(seed):
                                                   3 * per_page)):
         expected = golden.get(block, bytes(64))
         assert recovered.visible_block(block) == expected
+
+
+# ---------------------------------------------------------------------
+# Stop-the-world baselines: the same invariant, membership-style
+# ---------------------------------------------------------------------
+
+_BASELINES = {
+    "journal": JournalingController,
+    "shadow": ShadowPagingController,
+}
+
+
+def make_baseline(kind):
+    config = small_test_config(epoch_cycles=MANUAL_EPOCHS)
+    engine = Engine()
+    stats = StatsCollector(config.block_bytes)
+    memctrl = MemoryController(engine, config, stats)
+    controller = _BASELINES[kind](engine, config, memctrl, stats)
+    controller.start()
+    return SimpleNamespace(engine=engine, config=config, stats=stats,
+                           memctrl=memctrl, ctl=controller)
+
+
+@pytest.mark.parametrize("kind", sorted(_BASELINES))
+@given(st.integers(0, 2 ** 32 - 1))
+@settings(max_examples=25, deadline=None)
+def test_baseline_recovery_matches_a_committed_boundary(kind, seed):
+    """The baselines report no epoch number after a crash, so the
+    oracle is membership: the recovered image must equal *some*
+    committed boundary image.  Redo journaling commits early — once its
+    log is durable the in-flight boundary is recoverable by replay —
+    so for it the pending boundary image is also legal."""
+    rng = random.Random(seed)
+    system = make_baseline(kind)
+    shadow = {}
+    goldens = [{}]                   # committed images, oldest first
+    pending = None
+    num_epochs = rng.randrange(1, 4)
+    crash_epoch = rng.randrange(num_epochs)
+    crash_delay = rng.randrange(400_000)
+    for epoch in range(num_epochs):
+        for _ in range(rng.randrange(3, 12)):
+            block = rng.randrange(BLOCKS)
+            data = token(epoch, block, seed % 1000)
+            system.ctl.write_block(block * 64, Origin.CPU, data=data)
+            shadow[block] = data
+        settle(system.engine)        # quiesce demand writes (no CPU
+        run_until(system.engine,     # stall exists in direct driving)
+                  lambda: not system.ctl._in_checkpoint)
+        pending = dict(shadow)
+        boundary = system.ctl.epoch
+        system.ctl.force_epoch_end("prop")
+        if epoch == crash_epoch:
+            settle(system.engine, crash_delay)   # maybe mid-checkpoint
+            break
+        run_until(system.engine,
+                  lambda b=boundary: system.ctl.epoch > b)
+        goldens.append(dict(shadow))
+    if system.ctl.epoch > boundary:  # committed before the crash hit
+        goldens.append(dict(pending))
+    system.ctl.crash()
+    candidates = list(goldens)
+    if kind == "journal" and pending is not None:
+        candidates.append(pending)
+    image = {block: system.ctl.recovered_block(block)
+             for block in range(BLOCKS)}
+    for candidate in candidates:
+        if all(image[block] == candidate.get(block, bytes(64))
+               for block in range(BLOCKS)):
+            return
+    raise AssertionError(
+        f"{kind} recovery matches no committed boundary (seed {seed})")

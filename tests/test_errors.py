@@ -24,3 +24,23 @@ def test_catching_base_catches_library_errors():
     from repro.workloads.micro import random_trace
     with pytest.raises(errors.ReproError):
         list(random_trace(0, 1))
+
+
+def test_exit_codes_are_distinct_and_nonzero():
+    codes = list(errors.EXIT_CODES.values())
+    assert len(codes) == len(set(codes))
+    assert all(code not in (0, 1, 2) for code in codes)   # 2 = argparse
+
+
+def test_exit_code_for_walks_the_mro():
+    assert errors.exit_code_for(errors.CrashedError("x")) == \
+        errors.EXIT_CODES[errors.CrashedError]
+    assert errors.exit_code_for(errors.ReproError("x")) == \
+        errors.EXIT_CODES[errors.ReproError]
+
+    class CustomError(errors.WorkloadError):
+        pass
+
+    # Unregistered subclass inherits its family's code.
+    assert errors.exit_code_for(CustomError("x")) == \
+        errors.EXIT_CODES[errors.WorkloadError]
