@@ -18,7 +18,13 @@ An AST-based analyzer with three rule families, run as ``repro lint``:
 * **race** — same-cycle event handlers must not write the same
   attribute unless explicitly sequenced (heap-insertion-order hazard).
 
-See ``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
+The static crash-consistency model checker (``repro verify``) lives in
+the :mod:`repro.analysis.verify` subpackage; it is intentionally *not*
+imported here — import it explicitly so plain lint runs never pay for
+(or entangle themselves with) the abstract-machine machinery.
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and suppression
+syntax, and ``docs/VERIFY.md`` for the model checker.
 """
 
 from .context import ModuleContext, load_module
@@ -28,31 +34,41 @@ from .graphs import dead_states, extract_enum_members, \
     extract_transition_table, reachable
 from .project import ProjectIndex, build_index
 from .registry import Rule, all_rules, get_rule, register
-from .report import render_github, render_json, render_rule_catalogue, \
-    render_rule_explain, render_text
-from .runner import AnalysisReport, LintConfig, iter_python_files, \
-    run_analysis
+from .report import FORMATTERS, ToolReport, format_github, format_json, \
+    format_sarif, format_text, lint_tool_report, render, render_github, \
+    render_json, render_rule_catalogue, render_rule_explain, render_text
+from .runner import AnalysisReport, LintConfig, changed_files, \
+    iter_python_files, run_analysis
 
 __all__ = [
     "AnalysisReport",
     "Effect",
     "EffectGraph",
+    "FORMATTERS",
     "Finding",
     "LintConfig",
     "ModuleContext",
     "ProjectIndex",
     "Rule",
     "Severity",
+    "ToolReport",
     "all_rules",
     "build_index",
+    "changed_files",
     "dead_states",
     "extract_enum_members",
     "extract_transition_table",
+    "format_github",
+    "format_json",
+    "format_sarif",
+    "format_text",
     "get_rule",
     "iter_python_files",
+    "lint_tool_report",
     "load_module",
     "reachable",
     "register",
+    "render",
     "render_github",
     "render_json",
     "render_rule_catalogue",

@@ -1,33 +1,71 @@
-"""Text and JSON rendering of an analysis report."""
+"""Rendering of analysis reports: one formatter registry, many tools.
+
+``repro lint`` and ``repro verify`` produce different report objects
+(:class:`~repro.analysis.runner.AnalysisReport`,
+:class:`~repro.analysis.verify.runner.VerifyReport`) but share every
+output format.  Both are adapted into a neutral :class:`ToolReport`
+and rendered through :data:`FORMATTERS` — text, json, github workflow
+annotations, and SARIF 2.1.0 for GitHub code scanning.
+
+The lint ``text``/``json``/``github`` output is byte-identical to what
+the pre-registry emitters produced; the legacy ``render_text`` /
+``render_json`` / ``render_github`` entry points remain as wrappers.
+"""
 
 from __future__ import annotations
 
 import json
-from typing import List
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
 
+from .findings import Finding
 from .registry import all_rules
 from .runner import AnalysisReport
 
 
-def render_text(report: AnalysisReport) -> str:
-    lines: List[str] = [finding.render() for finding in report.findings]
-    lines.append(
-        f"{report.errors} error(s), {report.warnings} warning(s) "
-        f"in {report.files_scanned} file(s)")
-    return "\n".join(lines)
+@dataclass
+class ToolReport:
+    """Tool-neutral view of a findings report for the formatters."""
+
+    tool: str                            # SARIF driver name
+    findings: List[Finding]
+    summary_line: str                    # trailing human summary
+    summary: Dict[str, object]           # json "summary" object
+    rule_descriptions: Dict[str, str] = field(default_factory=dict)
+    extra: Dict[str, object] = field(default_factory=dict)
 
 
-def render_json(report: AnalysisReport) -> str:
-    payload = {
-        "findings": [finding.to_dict() for finding in report.findings],
-        "summary": {
+def lint_tool_report(report: AnalysisReport) -> ToolReport:
+    return ToolReport(
+        tool="repro-lint",
+        findings=list(report.findings),
+        summary_line=(f"{report.errors} error(s), "
+                      f"{report.warnings} warning(s) "
+                      f"in {report.files_scanned} file(s)"),
+        summary={
             "errors": report.errors,
             "warnings": report.warnings,
             "files_scanned": report.files_scanned,
             "files_cached": report.files_cached,
             "files_analyzed": report.files_analyzed,
         },
+        rule_descriptions={rule.id: rule.description
+                           for rule in all_rules()},
+    )
+
+
+def format_text(report: ToolReport) -> str:
+    lines: List[str] = [finding.render() for finding in report.findings]
+    lines.append(report.summary_line)
+    return "\n".join(lines)
+
+
+def format_json(report: ToolReport) -> str:
+    payload: Dict[str, object] = {
+        "findings": [finding.to_dict() for finding in report.findings],
+        "summary": report.summary,
     }
+    payload.update(report.extra)
     return json.dumps(payload, indent=2)
 
 
@@ -37,7 +75,7 @@ def _github_escape(text: str) -> str:
             .replace("\n", "%0A"))
 
 
-def render_github(report: AnalysisReport) -> str:
+def format_github(report: ToolReport) -> str:
     """GitHub Actions workflow commands: findings annotate PR diffs.
 
     One ``::error``/``::warning`` line per finding (ast's 0-based
@@ -51,10 +89,74 @@ def render_github(report: AnalysisReport) -> str:
             f"::{kind} file={finding.path},line={finding.line},"
             f"col={finding.col + 1},title={finding.rule}::"
             f"{_github_escape(finding.message)}")
-    lines.append(
-        f"{report.errors} error(s), {report.warnings} warning(s) "
-        f"in {report.files_scanned} file(s)")
+    lines.append(report.summary_line)
     return "\n".join(lines)
+
+
+def format_sarif(report: ToolReport) -> str:
+    """SARIF 2.1.0 (GitHub code scanning ingestible), deterministic."""
+    rule_ids = sorted({finding.rule for finding in report.findings})
+    rules = [{
+        "id": rule_id,
+        "shortDescription": {
+            "text": report.rule_descriptions.get(rule_id, rule_id)},
+    } for rule_id in rule_ids]
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+    results = [{
+        "ruleId": finding.rule,
+        "ruleIndex": rule_index[finding.rule],
+        "level": ("error" if finding.severity.value == "error"
+                  else "warning"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {"startLine": max(1, finding.line),
+                           "startColumn": finding.col + 1},
+            },
+        }],
+    } for finding in report.findings]
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": report.tool, "rules": rules}},
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2)
+
+
+#: The formatter registry both CLIs dispatch through.
+FORMATTERS: Dict[str, Callable[[ToolReport], str]] = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+    "sarif": format_sarif,
+}
+
+
+def render(report: ToolReport, fmt: str) -> str:
+    try:
+        formatter = FORMATTERS[fmt]
+    except KeyError:
+        raise KeyError(f"unknown output format {fmt!r} "
+                       f"(have: {', '.join(sorted(FORMATTERS))})")
+    return formatter(report)
+
+
+# -- legacy lint entry points (kept for compatibility) ----------------------
+
+def render_text(report: AnalysisReport) -> str:
+    return format_text(lint_tool_report(report))
+
+
+def render_json(report: AnalysisReport) -> str:
+    return format_json(lint_tool_report(report))
+
+
+def render_github(report: AnalysisReport) -> str:
+    return format_github(lint_tool_report(report))
 
 
 def render_rule_catalogue() -> str:

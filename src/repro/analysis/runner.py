@@ -15,9 +15,10 @@ tests.  Scoping is configured through :class:`LintConfig`:
 from __future__ import annotations
 
 import fnmatch
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .context import ModuleContext, load_module
 from .findings import Finding, Severity
@@ -100,6 +101,7 @@ def _path_suppressed(config: LintConfig, finding: Finding) -> bool:
 def run_analysis(paths: Sequence[Union[str, Path]],
                  config: Optional[LintConfig] = None,
                  cache_dir: Optional[Union[str, Path]] = None,
+                 restrict_to: Optional[Iterable[Union[str, Path]]] = None,
                  ) -> AnalysisReport:
     """Analyze ``paths`` (files or directories) under ``config``.
 
@@ -109,19 +111,26 @@ def run_analysis(paths: Sequence[Union[str, Path]],
     unchanged.  Every file is still parsed — the project index and
     effect graph are global inputs — but rule execution is skipped for
     cache hits.
+
+    ``restrict_to`` (``--changed-only``) limits *reporting* to the
+    given files: every file under ``paths`` is still parsed so the
+    cross-module index and effect graph stay whole-project, but rule
+    execution, caching and findings cover only the restricted set.
     """
     from . import cache as lint_cache
 
     config = config if config is not None else LintConfig()
     cache = Path(cache_dir) if cache_dir is not None else None
     files = iter_python_files(Path(p) for p in paths)
-    modules: List[ModuleContext] = []
+    restrict = (None if restrict_to is None
+                else {Path(p).resolve() for p in restrict_to})
+    loaded: List[Tuple[Path, ModuleContext]] = []
     findings: List[Finding] = []
     files_cached = 0
     files_analyzed = 0
     for file_path in files:
         try:
-            modules.append(load_module(file_path))
+            loaded.append((file_path, load_module(file_path)))
         except SyntaxError as exc:
             findings.append(Finding(
                 rule="parse-error",
@@ -132,11 +141,13 @@ def run_analysis(paths: Sequence[Union[str, Path]],
                 message=f"cannot parse module: {exc.msg}",
             ))
             files_analyzed += 1          # unparsable files never cache
-    index = build_index(modules)
+    index = build_index([module for _, module in loaded])
     facts = (lint_cache.facts_digest(index, config)
              if cache is not None else "")
     selected = None if config.select is None else set(config.select)
-    for module in modules:
+    for file_path, module in loaded:
+        if restrict is not None and file_path.resolve() not in restrict:
+            continue
         key = None
         if cache is not None:
             key = lint_cache.entry_key(module.relpath, module.source, facts)
@@ -160,7 +171,42 @@ def run_analysis(paths: Sequence[Union[str, Path]],
                                       module_findings)
         findings.extend(module_findings)
         files_analyzed += 1
-    findings.sort(key=Finding.sort_key)
+    # Canonical report-time order: fully keyed (message included as the
+    # final tiebreaker) so cold and warm cache runs emit byte-identical
+    # output regardless of rule-execution vs cache-merge ordering.
+    findings.sort(key=lambda f: (*f.sort_key(), f.message))
     return AnalysisReport(findings=findings, files_scanned=len(files),
                           files_cached=files_cached,
                           files_analyzed=files_analyzed)
+
+
+def changed_files(paths: Sequence[Union[str, Path]]) -> Optional[List[Path]]:
+    """Git-diff-aware file selection for ``repro lint --changed-only``.
+
+    The restricted set is every tracked file modified against ``HEAD``
+    (worktree or index) plus untracked non-ignored files, intersected
+    with the ``.py`` files under ``paths``.  Returns None when the
+    working directory is not inside a git work tree (the CLI turns
+    that into a usage error rather than silently linting everything).
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    repo_root = Path(top)
+    changed: Set[Path] = set()
+    for args in (["git", "diff", "--name-only", "HEAD"],
+                 ["git", "diff", "--name-only", "--cached"],
+                 ["git", "ls-files", "--others", "--exclude-standard"]):
+        try:
+            out = subprocess.run(args, capture_output=True, text=True,
+                                 check=True).stdout
+        except (OSError, subprocess.CalledProcessError):
+            return None
+        for name in out.splitlines():
+            if name:
+                changed.add((repo_root / name).resolve())
+    targets = iter_python_files(Path(p) for p in paths)
+    return [path for path in targets if path.resolve() in changed]

@@ -1,0 +1,56 @@
+"""Compile abstract counterexamples into replayable ``CrashPlan``s.
+
+A :class:`~.model.Counterexample` carries the nearest runtime probe
+emission before its crash point and that emission's occurrence ordinal
+along the abstract trace.  Because the machines emit probes in exactly
+the order the fuzz driver's census observes (pinned by test), those
+two values plus the boundary count translate directly into a concrete
+``repro fuzz replay`` plan string: same system, same workload, the
+fuzzer's default seed/footprint, enough epochs to reach the site, and
+zero jitter.
+
+Torn counterexamples (a crash strictly *inside* a persist) compile to
+the plan anchored at the probe that precedes the persist — the replay
+then relies on the runtime's conservative in-flight-write loss to
+reproduce the tear, so a torn plan is a best-effort reproducer rather
+than an exact one; see docs/VERIFY.md.
+
+The import of :mod:`repro.fuzz` is deliberately lazy: ``repro.fuzz``
+imports the analysis package for its site taxonomy, and the verify
+package must stay importable without completing that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .model import Counterexample
+
+if TYPE_CHECKING:       # pragma: no cover - typing only
+    from ...fuzz.plan import CrashPlan
+
+#: The fuzzer's campaign defaults; any seed works because the machines
+#: model the driver's epoch structure, which is seed-independent.
+DEFAULT_SEED = 1
+DEFAULT_BLOCKS = 16
+
+
+def compile_plan(ce: Counterexample) -> "CrashPlan":
+    """The concrete crash plan that reproduces ``ce`` at runtime."""
+    from ...fuzz.plan import CrashPlan
+    return CrashPlan(
+        system=ce.system,
+        workload=ce.workload,
+        seed=DEFAULT_SEED,
+        epochs=ce.epochs,
+        blocks=DEFAULT_BLOCKS,
+        site=ce.site.kind,
+        detail=ce.site.detail,
+        occurrence=ce.occurrence,
+        jitter=0,
+    )
+
+
+def plan_string(ce: Counterexample) -> str:
+    """``compile_plan`` rendered as a ``repro fuzz replay`` argument."""
+    return str(compile_plan(ce))

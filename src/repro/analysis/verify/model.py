@@ -1,0 +1,319 @@
+"""The abstract crash-consistency machine (state, traces, exploration).
+
+The verifier lifts each protocol into a finite abstract machine whose
+state is *epoch phase × per-region content × pending-persist set ×
+committed metadata*.  Content is tracked per (object, location) pair at
+epoch granularity: a location either holds the complete durable image
+some epoch wrote (``("img", e)``), a torn partial image (``("torn",
+e)``), or nothing at all.  "Objects" are the scheme's representative
+protected data items — one abstract remapped block, one abstract hot
+page — chosen so that every distinct persist discipline in the scheme
+is exercised by at least one object.
+
+The machine is *nearly* deterministic: under the fuzz driver's direct
+epoch driving (:mod:`repro.fuzz.runner`) the protocol itself takes no
+data-dependent branches the abstraction can see.  All nondeterminism
+comes from protocol facts the static extraction could not pin down
+(:mod:`.extract`); each unresolved fact fans the machine out into one
+trace per candidate behaviour (a "world").  Exploration therefore
+enumerates every world's trace, injects a crash after every transition
+— plus a *torn* crash inside every persist transition — and asks the
+scheme's recovery function whether the crashed state is
+committed-prefix consistent.  A failed check becomes a
+:class:`Counterexample` carrying enough trace context to compile a
+concrete, replayable ``CrashPlan`` (:mod:`.counterexample`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+#: Content of one (object, location) cell: ("img", epoch) for a
+#: complete durable image, ("torn", epoch) for a partial one.
+Tag = Tuple[str, int]
+
+#: Committed-metadata reference for one object: (location, epoch).
+#: Epoch -1 with location "home" means "never committed: initial image".
+CommittedRef = Tuple[str, int]
+
+IMG = "img"
+TORN = "torn"
+
+
+@dataclass(frozen=True)
+class AbstractState:
+    """One frozen point of the abstract machine (hashable)."""
+
+    phase: str                  # epoch pipeline phase name
+    epoch: int                  # active epoch index
+    boundaries: int             # checkpoints started so far
+    # Sorted ((object, location), tag) pairs for every non-empty cell.
+    mem: Tuple[Tuple[Tuple[str, str], Tag], ...]
+    # Sorted (object, (location, epoch)) committed references.
+    committed: Tuple[Tuple[str, CommittedRef], ...]
+    committed_epoch: int        # last committed epoch (-1 = none)
+    log_epoch: Optional[int]    # journaling: epoch the durable log covers
+    pending: Tuple[str, ...]    # persists issued but not yet durable
+
+    def cell(self, obj: str, loc: str) -> Optional[Tag]:
+        for key, tag in self.mem:
+            if key == (obj, loc):
+                return tag
+        return None
+
+    def committed_ref(self, obj: str) -> CommittedRef:
+        for name, ref in self.committed:
+            if name == obj:
+                return ref
+        return ("home", -1)
+
+
+@dataclass(frozen=True)
+class Emission:
+    """One runtime probe event the abstract step corresponds to."""
+
+    kind: str
+    detail: str = ""
+
+    def key(self) -> str:
+        return f"{self.kind}.{self.detail}" if self.detail else self.kind
+
+
+@dataclass
+class Step:
+    """One completed abstract transition and the state after it."""
+
+    label: str
+    state: AbstractState
+    emission: Optional[Emission] = None
+    persist: bool = False            # wrote durable (NVM) locations
+    torn_state: Optional[AbstractState] = None   # mid-write crash image
+    anchor: Optional[Tuple[str, int]] = None     # (path, line) provenance
+
+
+@dataclass
+class Trace:
+    """One world's full abstract execution (deterministic)."""
+
+    system: str
+    workload: str
+    assumption: str              # "" = the statically certain behaviour
+    steps: List[Step] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """One crash point whose recovery is not committed-prefix consistent."""
+
+    system: str
+    workload: str
+    check: str                   # verify check id (see checks.py)
+    reason: str                  # recovery verdict detail
+    step_label: str              # the transition crashed after/inside
+    torn: bool                   # crash landed inside the persist
+    assumption: str              # pessimistic world that produced it
+    site: Emission               # nearest runtime probe anchor
+    occurrence: int              # N-th matching emission along the trace
+    epochs: int                  # epoch boundaries needed to reach it
+    anchor: Tuple[str, int]      # (path, line) to report the finding at
+    trace: Tuple[str, ...]       # step labels up to the crash point
+
+
+#: Recovery oracle: None when the crashed state recovers consistently,
+#: else a human-readable reason (becomes the counterexample's reason).
+RecoveryCheck = Callable[[AbstractState], Optional[str]]
+
+
+class TraceBuilder:
+    """Mutable scratchpad that freezes into :class:`Step` snapshots."""
+
+    def __init__(self, system: str, workload: str,
+                 assumption: str = "") -> None:
+        self.trace = Trace(system, workload, assumption)
+        self.phase = "EXECUTING"
+        self.epoch = 0
+        self.boundaries = 0
+        self.mem: Dict[Tuple[str, str], Tag] = {}
+        self.committed: Dict[str, CommittedRef] = {}
+        self.committed_epoch = -1
+        self.log_epoch: Optional[int] = None
+        self.phase_edges: Set[Tuple[str, str]] = set()
+        self.state_edges: Dict[str, Set[Tuple[str, str]]] = {}
+        self._obj_states: Dict[str, str] = {}
+
+    # -- state bookkeeping -------------------------------------------------
+
+    def set_phase(self, new: str) -> None:
+        if new != self.phase:
+            self.phase_edges.add((self.phase, new))
+        self.phase = new
+
+    def object_state(self, obj: str, new: str) -> None:
+        """Record an abstract protocol-state change for ``obj``."""
+        old = self._obj_states.get(obj)
+        if old is not None and old != new:
+            self.state_edges.setdefault(obj, set()).add((old, new))
+        elif old is None:
+            self.state_edges.setdefault(obj, set())
+        self._obj_states[obj] = new
+
+    def snapshot(self, pending: Tuple[str, ...] = ()) -> AbstractState:
+        return AbstractState(
+            phase=self.phase,
+            epoch=self.epoch,
+            boundaries=self.boundaries,
+            mem=tuple(sorted(self.mem.items())),
+            committed=tuple(sorted(self.committed.items())),
+            committed_epoch=self.committed_epoch,
+            log_epoch=self.log_epoch,
+            pending=pending,
+        )
+
+    # -- steps -------------------------------------------------------------
+
+    def step(self, label: str,
+             emission: Optional[Emission] = None,
+             writes: Tuple[Tuple[str, str, Tag], ...] = (),
+             persist: bool = False,
+             anchor: Optional[Tuple[str, int]] = None) -> None:
+        """One transition: apply ``writes`` and snapshot the result.
+
+        A persist step with writes also freezes a *torn* variant — the
+        state a crash strictly inside the transition leaves behind,
+        with every written cell holding a partial image.
+        """
+        torn_state = None
+        if persist and writes:
+            saved = dict(self.mem)
+            for obj, loc, tag in writes:
+                self.mem[(obj, loc)] = (TORN, tag[1])
+            torn_state = self.snapshot(pending=(label,))
+            self.mem = saved
+        for obj, loc, tag in writes:
+            self.mem[(obj, loc)] = tag
+        self.trace.steps.append(Step(
+            label=label, state=self.snapshot(), emission=emission,
+            persist=persist, torn_state=torn_state, anchor=anchor))
+
+
+@dataclass
+class Exploration:
+    """Everything one system's exhaustive exploration produced."""
+
+    system: str
+    traces: List[Trace]
+    counterexamples: List[Counterexample]
+    states: Set[AbstractState]
+    crash_points: int
+    emissions: Dict[str, Set[str]]       # probe kind -> observed details
+    phase_edges: Set[Tuple[str, str]]
+    state_edges: Dict[str, Set[Tuple[str, str]]]
+
+
+def _nearest_emission(steps: List[Step], index: int,
+                      ) -> Tuple[Optional[Emission], int]:
+    """The latest emission at or before ``index`` and its occurrence
+    ordinal (how many times that exact emission fired so far)."""
+    for back in range(index, -1, -1):
+        emission = steps[back].emission
+        if emission is not None:
+            occurrence = sum(
+                1 for step in steps[:back + 1]
+                if step.emission is not None
+                and step.emission.key() == emission.key())
+            return emission, occurrence
+    return None, 0
+
+
+def _counterexample(trace: Trace, index: int, torn: bool, check: str,
+                    reason: str) -> Optional[Counterexample]:
+    steps = trace.steps
+    step = steps[index]
+    crash_anchor = index - 1 if torn else index
+    if crash_anchor < 0:
+        return None
+    site, occurrence = _nearest_emission(steps, crash_anchor)
+    if site is None:
+        return None      # before the first probe: the fuzzer's t=0 case
+    state = step.torn_state if torn else step.state
+    assert state is not None
+    anchor = step.anchor
+    if anchor is None:
+        # Crashes downstream of the faulty persist (later stages, the
+        # fence, the commit record) report at the persist that caused
+        # the inconsistency: the nearest earlier anchored step.
+        for back in range(index - 1, -1, -1):
+            if steps[back].anchor is not None:
+                anchor = steps[back].anchor
+                break
+    return Counterexample(
+        system=trace.system,
+        workload=trace.workload,
+        check=check,
+        reason=reason,
+        step_label=step.label,
+        torn=torn,
+        assumption=trace.assumption,
+        site=site,
+        occurrence=occurrence,
+        epochs=max(1, state.boundaries),
+        anchor=anchor if anchor is not None else ("", 0),
+        trace=tuple(s.label for s in steps[:index + 1]),
+    )
+
+
+def explore(system: str, traces: List[Trace],
+            recover: RecoveryCheck) -> Exploration:
+    """Crash after every transition of every world; check recovery.
+
+    Every step contributes one *complete* crash state; every persist
+    step additionally contributes its *torn* crash state.  Distinct
+    abstract states are deduplicated across worlds for the state count;
+    counterexamples are deduplicated on (check, site, torn, assumption)
+    so one bad fact produces one finding per distinct crash site.
+    """
+    counterexamples: List[Counterexample] = []
+    seen_ce: Set[Tuple[str, str, str, bool, str]] = set()
+    states: Set[AbstractState] = set()
+    emissions: Dict[str, Set[str]] = {}
+    phase_edges: Set[Tuple[str, str]] = set()
+    state_edges: Dict[str, Set[Tuple[str, str]]] = {}
+    crash_points = 0
+
+    for trace in traces:
+        for index, step in enumerate(trace.steps):
+            states.add(step.state)
+            if step.emission is not None:
+                emissions.setdefault(step.emission.kind,
+                                     set()).add(step.emission.detail)
+            variants: List[Tuple[AbstractState, bool]] = [(step.state, False)]
+            if step.torn_state is not None:
+                states.add(step.torn_state)
+                variants.append((step.torn_state, True))
+            for state, torn in variants:
+                crash_points += 1
+                reason = recover(state)
+                if reason is None:
+                    continue
+                check = ("verify-torn-recovery" if torn
+                         else "verify-committed-overwrite")
+                ce = _counterexample(trace, index, torn, check, reason)
+                if ce is None:
+                    continue
+                key = (ce.check, ce.site.key(), ce.step_label, ce.torn,
+                       ce.assumption)
+                if key in seen_ce:
+                    continue
+                seen_ce.add(key)
+                counterexamples.append(ce)
+    return Exploration(
+        system=system,
+        traces=traces,
+        counterexamples=counterexamples,
+        states=states,
+        crash_points=crash_points,
+        emissions=emissions,
+        phase_edges=phase_edges,
+        state_edges=state_edges,
+    )

@@ -1,0 +1,566 @@
+"""Per-scheme abstract machines, parameterized by extracted facts.
+
+Each of the five fuzzable systems gets a machine builder that replays
+the fuzz driver's epoch structure (write -> settle -> forced boundary
+-> commit, :mod:`repro.fuzz.runner`) against representative abstract
+objects, emitting exactly the probe events the runtime fires along the
+way — the emission sequence is pinned to the fuzzer's site census by
+test.  The *safety-relevant choices* (where a checkpoint stage writes,
+which region a promoted page calls stable, whether the journal's log
+persists before its in-place writes) are not hard-coded: they come
+from :class:`~.extract.ProtocolFacts`, and every fact extraction could
+not resolve fans the build out into one pessimistic world per
+candidate behaviour.
+
+Trusted (not extracted) disciplines, i.e. the soundness boundary —
+see docs/VERIFY.md: write-queue drain before boundaries, demotion's
+complement-region copy, commit-record atomicity via torn detection,
+and DRAM volatility.  All four are fuzzed at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .extract import ProtocolFacts, RegionChoice, RegionPolicy
+from .model import (IMG, TORN, AbstractState, Emission, Exploration,
+                    RecoveryCheck, Trace, TraceBuilder, explore)
+
+#: Systems the verifier certifies — pinned by test to fuzz.plan.FUZZ_SYSTEMS.
+VERIFY_SYSTEMS = ("thynvm", "thynvm_block_only", "thynvm_page_only",
+                  "journal", "shadow")
+
+#: Workloads whose driver structure the machines replay — pinned to
+#: fuzz.workloads' WORKLOAD_NAMES by test.
+VERIFY_WORKLOADS = ("sparse", "hotpage")
+
+#: Epoch boundaries each machine drives; matches the fuzzer's default
+#: census depth so every occurrence a census run counts is explored.
+DEFAULT_EPOCHS = 3
+
+_REGIONS = ("A", "B")
+
+
+def _other(region: str) -> str:
+    return "B" if region == "A" else "A"
+
+
+# ---------------------------------------------------------------------------
+# World fan-out from facts
+# ---------------------------------------------------------------------------
+
+def _policy_regions(policy: Optional[RegionPolicy], derived: str,
+                    what: str) -> List[Tuple[str, str]]:
+    """Candidate (region, assumption) pairs for an initial-stable policy.
+
+    ``derived`` is the region the committed-derived policy yields in
+    this trace shape.  Clean extraction -> one world with no
+    assumption; a constant or unknown policy -> pessimistic worlds.
+    """
+    if policy is not None and policy.kind == "committed-derived":
+        return [(derived, "")]
+    if policy is not None and policy.kind.startswith("constant:"):
+        region = policy.kind.split(":", 1)[1]
+        return [(region, f"{what} pinned to region {region} "
+                         f"({policy.anchor.path}:{policy.anchor.line})")]
+    return [(region, f"{what} unresolved; assuming region {region}")
+            for region in _REGIONS]
+
+
+def _choice_modes(choice: Optional[RegionChoice], safe: str,
+                  what: str) -> List[Tuple[str, str]]:
+    """Candidate (mode, assumption) pairs for a stage destination.
+
+    Modes: ``other`` (complement of the current stable/committed
+    region — the safe ping-pong discipline), ``same`` (that region
+    itself), or a pinned concrete region.
+    """
+    if choice is None or choice.kind == "unknown":
+        return [(mode, f"{what} unresolved; assuming {mode} region")
+                for mode in ("other", "same")]
+    if choice.kind == safe:
+        return [("other", "")]
+    if choice.kind.startswith("constant:"):
+        region = choice.kind.split(":", 1)[1]
+        return [(region, f"{what} pinned to region {region} "
+                         f"({choice.anchor.path}:{choice.anchor.line})")]
+    # "stable"/"committed": writes the region recovery reads.
+    return [("same", f"{what} targets the committed region "
+                     f"({choice.anchor.path}:{choice.anchor.line})")]
+
+
+def _resolve(mode: str, stable: str) -> str:
+    if mode == "other":
+        return _other(stable)
+    if mode == "same":
+        return stable
+    return mode            # pinned concrete region
+
+
+def _join(*assumptions: str) -> str:
+    return "; ".join(a for a in assumptions if a)
+
+
+# ---------------------------------------------------------------------------
+# Shared trace fragments
+# ---------------------------------------------------------------------------
+
+def _writeback_role(facts: ProtocolFacts) -> Optional[str]:
+    """The data stage after the BTT table stage is the page writeback."""
+    roles = facts.thynvm_stage_roles
+    try:
+        btt_at = roles.index("table:btt")
+    except ValueError:
+        btt_at = -1
+    for index, role in enumerate(roles):
+        if role.startswith("data:") and index > btt_at:
+            return role
+    return None
+
+
+def _checkpoint(b: TraceBuilder, *, boundary: int,
+                tables: Tuple[str, ...],
+                stage_writes: Dict[int, Tuple[Tuple[str, str, Tuple[str, int]],
+                                              ...]],
+                stages: int,
+                stage_anchors: Optional[Dict[int, Tuple[str, int]]] = None,
+                ) -> None:
+    """One forced epoch boundary up to (not including) commit effects.
+
+    ``tables`` are the table-persist details fired at planning time;
+    ``stage_writes`` maps stage index -> durable writes that stage
+    performs (every listed stage persists; unlisted stages fire their
+    ``stage-done`` with nothing to do, exactly like the runtime's
+    empty-stage probes).
+    """
+    anchors = stage_anchors or {}
+    b.set_phase("ENDING")
+    b.step(f"boundary-{boundary}:request-end")
+    for table in tables:
+        b.step(f"boundary-{boundary}:plan-{table}",
+               emission=Emission("table-persist", table),
+               writes=((f"meta:{table}", "next", (IMG, b.epoch)),),
+               persist=True)
+    b.set_phase("CHECKPOINTING")
+    b.step(f"boundary-{boundary}:start",
+           emission=Emission("ckpt-start"))
+    for stage in range(stages):
+        writes = stage_writes.get(stage, ())
+        b.step(f"boundary-{boundary}:stage-{stage}",
+               emission=Emission("stage-done", str(stage)),
+               writes=writes, persist=bool(writes),
+               anchor=anchors.get(stage))
+    b.step(f"boundary-{boundary}:fence", emission=Emission("fence"))
+    b.step(f"boundary-{boundary}:commit-record",
+           emission=Emission("commit-write"),
+           writes=(("meta:commit", "record", (IMG, b.epoch)),),
+           persist=True)
+
+
+def _commit(b: TraceBuilder, boundary: int,
+            refs: Dict[str, Tuple[str, int]],
+            pre_steps: Tuple[Tuple[str, Emission, Optional[Tuple[str, int]]],
+                             ...] = ()) -> None:
+    """Commit effects: scheme switches fire first, then the commit
+    probe makes the boundary's metadata authoritative for recovery."""
+    for label, emission, anchor in pre_steps:
+        b.step(f"boundary-{boundary}:{label}", emission=emission,
+               anchor=anchor)
+    b.committed.update(refs)
+    b.committed_epoch = b.epoch
+    b.set_phase("EXECUTING")
+    b.step(f"boundary-{boundary}:commit", emission=Emission("commit"))
+    b.epoch += 1
+
+
+# ---------------------------------------------------------------------------
+# ThyNVM (hybrid / block-only / page-only)
+# ---------------------------------------------------------------------------
+
+def _thynvm_block_trace(system: str, workload: str, epochs: int,
+                        facts: ProtocolFacts) -> TraceBuilder:
+    """Block-remapping flow: every write is block-grain, in place in
+    NVM at the complement of the BTT entry's stable region (fresh
+    entries call region B stable), and commit flips stable."""
+    b = TraceBuilder(system, workload)
+    b.object_state("blk", "HOME")
+    stable = "B"
+    for _ in range(epochs):
+        boundary = b.boundaries + 1
+        b.object_state("blk", "NVM_WORKING")
+        b.step(f"epoch-{b.epoch}:write-blocks",
+               writes=(("blk", _other(stable), (IMG, b.epoch)),),
+               persist=True)
+        b.boundaries = boundary
+        b.object_state("blk", "NVM_CHECKPOINTING")
+        _checkpoint(b, boundary=boundary, tables=("btt",),
+                    stage_writes={}, stages=4)
+        stable = _other(stable)
+        b.object_state("blk", "CLEAN")
+        _commit(b, boundary, {"blk": (stable, b.epoch)})
+        b.object_state("blk", "NVM_WORKING" if b.epoch < epochs
+                       else "CLEAN")
+    return b
+
+
+def _thynvm_hotpage_traces(epochs: int,
+                           facts: ProtocolFacts) -> Iterator[TraceBuilder]:
+    """Hybrid flow under the hot-page workload: epoch 0 writes the hot
+    page block-grain; the first commit promotes it to page grain; later
+    epochs buffer writes in DRAM and the checkpoint's writeback stage
+    copies them to its destination region."""
+    wb_role = _writeback_role(facts)
+    wb_choice = (facts.thynvm_stage_choices.get(wb_role)
+                 if wb_role is not None else None)
+    wb_index = (facts.thynvm_stage_roles.index(wb_role)
+                if wb_role in facts.thynvm_stage_roles else 2)
+    stages = max(4, len(facts.thynvm_stage_roles))
+    block_stable = "B"           # fresh BTT entries call region B stable
+    committed_at = _other(block_stable)   # after the first commit flip
+    for promo_region, promo_why in _policy_regions(
+            facts.promotion, derived=committed_at,
+            what="page-promotion stable region"):
+        for wb_mode, wb_why in _choice_modes(
+                wb_choice, safe="other-of-stable",
+                what="page-writeback destination"):
+            b = TraceBuilder("thynvm", "hotpage",
+                             _join(promo_why, wb_why))
+            b.object_state("hot", "HOME")
+            b.object_state("hot", "NVM_WORKING")
+            b.step("epoch-0:write-blocks",
+                   writes=(("hot", _other(block_stable), (IMG, 0)),),
+                   persist=True)
+            b.boundaries = 1
+            b.object_state("hot", "NVM_CHECKPOINTING")
+            _checkpoint(b, boundary=1, tables=("btt",),
+                        stage_writes={}, stages=stages)
+            b.object_state("hot", "CLEAN")
+            promo_anchor = (facts.promotion.anchor.path,
+                            facts.promotion.anchor.line) \
+                if facts.promotion is not None else None
+            _commit(b, 1, {"hot": (committed_at, 0)},
+                    pre_steps=(("promote", Emission("promote"),
+                                promo_anchor),))
+            page_stable = promo_region
+            for _ in range(1, epochs):
+                boundary = b.boundaries + 1
+                b.object_state("hot", "DRAM_TEMP")
+                b.step(f"epoch-{b.epoch}:write-page-dram",
+                       writes=(("hot", "dram", (IMG, b.epoch)),))
+                b.boundaries = boundary
+                b.object_state("hot", "DRAM_CHECKPOINTING")
+                dst = _resolve(wb_mode, page_stable)
+                wb_anchor = ((wb_choice.anchor.path, wb_choice.anchor.line)
+                             if wb_choice is not None else None)
+                _checkpoint(b, boundary=boundary, tables=("btt", "ptt"),
+                            stage_writes={
+                                wb_index: (("hot", dst, (IMG, b.epoch)),)},
+                            stages=stages,
+                            stage_anchors={wb_index: wb_anchor}
+                            if wb_anchor is not None else None)
+                page_stable = dst
+                b.object_state("hot", "CLEAN")
+                _commit(b, boundary, {"hot": (page_stable, b.epoch)})
+            yield b
+
+
+def _thynvm_page_traces(system: str, workload: str, epochs: int,
+                        facts: ProtocolFacts) -> Iterator[TraceBuilder]:
+    """Page-grain flow: writes buffer in DRAM (volatile), the
+    checkpoint writeback stage copies them to the complement of the
+    PTT entry's stable region, and cold pages demote at later commits
+    (the demotion copy itself targets the complement region — a
+    trusted discipline, exercised by the runtime fuzzer)."""
+    wb_role = _writeback_role(facts)
+    wb_choice = (facts.thynvm_stage_choices.get(wb_role)
+                 if wb_role is not None else None)
+    wb_index = (facts.thynvm_stage_roles.index(wb_role)
+                if wb_role in facts.thynvm_stage_roles else 2)
+    stages = max(4, len(facts.thynvm_stage_roles))
+    for adopt_region, adopt_why in _policy_regions(
+            facts.adoption, derived="B",
+            what="page-adoption stable region"):
+        for wb_mode, wb_why in _choice_modes(
+                wb_choice, safe="other-of-stable",
+                what="page-writeback destination"):
+            b = TraceBuilder(system, workload, _join(adopt_why, wb_why))
+            b.object_state("hot", "HOME")
+            b.object_state("cold", "HOME")
+            hot_stable = adopt_region
+            cold_ref: Tuple[str, int] = ("home", -1)
+            cold_demoted_to: Optional[str] = None
+            wb_anchor = ((wb_choice.anchor.path, wb_choice.anchor.line)
+                         if wb_choice is not None else None)
+            for _ in range(epochs):
+                epoch = b.epoch
+                boundary = b.boundaries + 1
+                b.object_state("hot", "DRAM_TEMP")
+                writes = [("hot", "dram", (IMG, epoch))]
+                if epoch == 0:
+                    b.object_state("cold", "DRAM_TEMP")
+                    writes.append(("cold", "dram", (IMG, 0)))
+                b.step(f"epoch-{epoch}:write-pages-dram",
+                       writes=tuple(writes))
+                b.boundaries = boundary
+                hot_dst = _resolve(wb_mode, hot_stable)
+                stage: List[Tuple[str, str, Tuple[str, int]]] = [
+                    ("hot", hot_dst, (IMG, epoch))]
+                refs: Dict[str, Tuple[str, int]] = {}
+                b.object_state("hot", "DRAM_CHECKPOINTING")
+                if epoch == 0:
+                    b.object_state("cold", "DRAM_CHECKPOINTING")
+                    cold_dst = _resolve(wb_mode, adopt_region)
+                    stage.append(("cold", cold_dst, (IMG, 0)))
+                    refs["cold"] = (cold_dst, 0)
+                _checkpoint(b, boundary=boundary, tables=("ptt",),
+                            stage_writes={wb_index: tuple(stage)},
+                            stages=stages,
+                            stage_anchors={wb_index: wb_anchor}
+                            if wb_anchor is not None else None)
+                hot_stable = hot_dst
+                refs["hot"] = (hot_stable, epoch)
+                pre: Tuple[Tuple[str, Emission,
+                                 Optional[Tuple[str, int]]], ...] = ()
+                if boundary == 2:
+                    # The cold page went unwritten for an epoch: the
+                    # commit's scheme-switch pass demotes it, copying
+                    # its committed image to the complement region.
+                    cold_demoted_to = _other(cold_ref[0])
+                    pre = (("demote", Emission("demote"), None),)
+                if boundary == 3 and cold_demoted_to is not None:
+                    refs["cold"] = (cold_demoted_to, cold_ref[1])
+                b.object_state("hot", "CLEAN")
+                if epoch == 0:
+                    b.object_state("cold", "CLEAN")
+                _commit(b, boundary, refs, pre_steps=pre)
+                if pre:
+                    b.step(f"boundary-{boundary}:demote-copy",
+                           writes=(("cold", _other(cold_ref[0]),
+                                    (IMG, cold_ref[1])),),
+                           persist=True)
+                cold_ref = refs.get("cold", cold_ref)
+            yield b
+
+
+# ---------------------------------------------------------------------------
+# Baselines (stop-the-world: journaling, shadow paging)
+# ---------------------------------------------------------------------------
+
+def _journal_traces(workload: str, epochs: int,
+                    facts: ProtocolFacts) -> Iterator[TraceBuilder]:
+    """Journaling: buffered writes flush at the boundary as a log
+    stage (redo journal in NVM) then an in-place home stage; recovery
+    replays a durable log over torn home images."""
+    offset = 1 if facts.cpu_stage_prepended else 0
+    if "?" in facts.journal_stage_roles:
+        orders: List[Tuple[List[str], str]] = [
+            (["log", "home"], "journal stage order unresolved; "
+                              "assuming log-then-home"),
+            (["home", "log"], "journal stage order unresolved; "
+                              "assuming home-then-log"),
+        ]
+    else:
+        orders = [(list(facts.journal_stage_roles), "")]
+    for roles, why in orders:
+        b = TraceBuilder("journal", workload, why)
+        for _ in range(epochs):
+            epoch = b.epoch
+            boundary = b.boundaries + 1
+            b.step(f"epoch-{epoch}:write-buffered",
+                   writes=(("dat", "dram", (IMG, epoch)),))
+            b.boundaries = boundary
+            b.set_phase("ENDING")
+            b.step(f"boundary-{boundary}:request-end")
+            b.step(f"boundary-{boundary}:plan-log",
+                   emission=Emission("table-persist", "log"),
+                   writes=(("meta:log", "next", (IMG, epoch)),),
+                   persist=True)
+            b.set_phase("CHECKPOINTING")
+            b.step(f"boundary-{boundary}:start",
+                   emission=Emission("ckpt-start"))
+            stage_index = 0
+            if facts.cpu_stage_prepended:
+                b.step(f"boundary-{boundary}:stage-0",
+                       emission=Emission("stage-done", "0"),
+                       writes=(("meta:cpu", "state", (IMG, epoch)),),
+                       persist=True)
+                stage_index = 1
+            for role in roles:
+                loc = "log" if role == "log" else "home"
+                b.step(f"boundary-{boundary}:stage-{stage_index}",
+                       emission=Emission("stage-done", str(stage_index)),
+                       writes=(("dat", loc, (IMG, epoch)),),
+                       persist=True)
+                if (role == "log"
+                        and facts.journal_capture_stage == stage_index):
+                    b.log_epoch = epoch
+                stage_index += 1
+            while stage_index < len(roles) + offset:
+                b.step(f"boundary-{boundary}:stage-{stage_index}",
+                       emission=Emission("stage-done", str(stage_index)))
+                stage_index += 1
+            b.step(f"boundary-{boundary}:fence",
+                   emission=Emission("fence"))
+            b.step(f"boundary-{boundary}:commit-record",
+                   emission=Emission("commit-write"),
+                   writes=(("meta:commit", "record", (IMG, epoch)),),
+                   persist=True)
+            b.log_epoch = None      # home writes landed; log retired
+            _commit(b, boundary, {"dat": ("home", epoch)})
+        yield b
+
+
+def _shadow_traces(workload: str, epochs: int,
+                   facts: ProtocolFacts) -> Iterator[TraceBuilder]:
+    """Shadow paging: buffered writes flush to the complement of each
+    page's committed region; commit flips the page-map entry."""
+    for mode, why in _choice_modes(facts.shadow_flush,
+                                   safe="other-of-committed",
+                                   what="shadow flush destination"):
+        b = TraceBuilder("shadow", workload, why)
+        committed_region = "B"      # page map defaults to region B
+        anchor = ((facts.shadow_flush.anchor.path,
+                   facts.shadow_flush.anchor.line)
+                  if facts.shadow_flush is not None else None)
+        for _ in range(epochs):
+            epoch = b.epoch
+            boundary = b.boundaries + 1
+            b.step(f"epoch-{epoch}:write-buffered",
+                   writes=(("dat", "dram", (IMG, epoch)),))
+            b.boundaries = boundary
+            b.set_phase("ENDING")
+            b.step(f"boundary-{boundary}:plan-pagemap",
+                   emission=Emission("table-persist", "pagemap"),
+                   writes=(("meta:pagemap", "next", (IMG, epoch)),),
+                   persist=True)
+            b.set_phase("CHECKPOINTING")
+            b.step(f"boundary-{boundary}:start",
+                   emission=Emission("ckpt-start"))
+            dst = _resolve(mode, committed_region)
+            stage_writes: Dict[int, Tuple[Tuple[str, str,
+                                                Tuple[str, int]], ...]] = {}
+            if facts.cpu_stage_prepended:
+                stage_writes[0] = (("meta:cpu", "state", (IMG, epoch)),)
+                stage_writes[1] = (("dat", dst, (IMG, epoch)),)
+                stages = 2
+            else:
+                stage_writes[0] = (("dat", dst, (IMG, epoch)),)
+                stages = 1
+            for stage in range(stages):
+                b.step(f"boundary-{boundary}:stage-{stage}",
+                       emission=Emission("stage-done", str(stage)),
+                       writes=stage_writes.get(stage, ()),
+                       persist=True,
+                       anchor=anchor if stage == stages - 1 else None)
+            b.step(f"boundary-{boundary}:fence",
+                   emission=Emission("fence"))
+            b.step(f"boundary-{boundary}:commit-record",
+                   emission=Emission("commit-write"),
+                   writes=(("meta:commit", "record", (IMG, epoch)),),
+                   persist=True)
+            committed_region = dst
+            _commit(b, boundary, {"dat": (committed_region, epoch)})
+        yield b
+
+
+# ---------------------------------------------------------------------------
+# Recovery checks
+# ---------------------------------------------------------------------------
+
+def _region_recover(state: AbstractState) -> Optional[str]:
+    """Committed-prefix check for region-committed schemes: the cell
+    the committed metadata points at must hold exactly the committed
+    epoch's complete image (or the untouched initial image)."""
+    objs = {name for name, _ in state.committed}
+    objs.update(obj for (obj, _loc), _tag in state.mem)
+    for obj in sorted(objs):
+        if obj.startswith("meta:"):
+            continue        # versioned metadata: old copy authoritative
+        loc, epoch = state.committed_ref(obj)
+        tag = state.cell(obj, loc)
+        if tag is None:
+            if epoch == -1:
+                continue    # never overwritten: initial image intact
+            return (f"{obj}: committed epoch-{epoch} copy at region "
+                    f"{loc} is gone")
+        kind, written = tag
+        if kind == TORN:
+            return (f"{obj}: recovery reads region {loc}, torn by an "
+                    f"epoch-{written} write")
+        if written != epoch:
+            return (f"{obj}: committed epoch-{epoch} copy at region "
+                    f"{loc} overwritten by epoch-{written} data")
+    return None
+
+
+def _journal_recover(state: AbstractState) -> Optional[str]:
+    """Journaling recovers any complete home image (the runtime oracle
+    accepts membership in the committed/pending set); only a torn home
+    image with no durable log covering that epoch is unrecoverable."""
+    for (obj, loc), (kind, epoch) in state.mem:
+        if obj.startswith("meta:") or loc != "home":
+            continue
+        if kind == TORN and state.log_epoch != epoch:
+            return (f"{obj}: home image torn by the epoch-{epoch} "
+                    f"in-place stage with no durable log to replay")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def _build_builders(system: str, facts: ProtocolFacts, epochs: int,
+                    workloads: Tuple[str, ...]) -> List[TraceBuilder]:
+    builders: List[TraceBuilder] = []
+    for workload in workloads:
+        if system == "thynvm":
+            if workload == "hotpage":
+                builders.extend(_thynvm_hotpage_traces(epochs, facts))
+            else:
+                builders.append(_thynvm_block_trace(system, workload,
+                                                    epochs, facts))
+        elif system == "thynvm_block_only":
+            builders.append(_thynvm_block_trace(system, workload,
+                                                epochs, facts))
+        elif system == "thynvm_page_only":
+            builders.extend(_thynvm_page_traces(system, workload,
+                                                epochs, facts))
+        elif system == "journal":
+            builders.extend(_journal_traces(workload, epochs, facts))
+        elif system == "shadow":
+            builders.extend(_shadow_traces(workload, epochs, facts))
+        else:
+            raise ValueError(f"unknown system: {system}")
+    return builders
+
+
+def build_traces(system: str, facts: ProtocolFacts, epochs: int,
+                 workloads: Tuple[str, ...]) -> List[Trace]:
+    return [b.trace for b in _build_builders(system, facts, epochs,
+                                             workloads)]
+
+
+def recovery_check(system: str) -> RecoveryCheck:
+    return _journal_recover if system == "journal" else _region_recover
+
+
+def build_exploration(system: str, facts: ProtocolFacts,
+                      epochs: int = DEFAULT_EPOCHS,
+                      workloads: Tuple[str, ...] = VERIFY_WORKLOADS,
+                      ) -> Exploration:
+    """Build every world's trace for ``system`` and explore crashes.
+
+    The builders' observed phase/protocol-state edges are merged into
+    the exploration so the runner can certify them against the
+    statically extracted transition tables (and the property tests can
+    check runtime-observed transitions against them).
+    """
+    builders = _build_builders(system, facts, epochs, workloads)
+    exploration = explore(system, [b.trace for b in builders],
+                          recovery_check(system))
+    for builder in builders:
+        exploration.phase_edges |= builder.phase_edges
+        for obj, edges in builder.state_edges.items():
+            exploration.state_edges.setdefault(obj, set()).update(edges)
+    return exploration

@@ -281,10 +281,11 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """`repro lint`: run the protocol-aware static analyzer."""
-    from .analysis import (render_github, render_json,
-                           render_rule_catalogue, render_rule_explain,
-                           render_text, run_analysis)
+    from .analysis import (render_rule_catalogue, render_rule_explain,
+                           run_analysis)
     from .analysis.cache import DEFAULT_LINT_CACHE_DIR
+    from .analysis.report import lint_tool_report, render
+    from .analysis.runner import changed_files
     if args.list_rules:
         print(render_rule_catalogue())
         return 0
@@ -302,19 +303,62 @@ def cmd_lint(args: argparse.Namespace) -> int:
         # A typo'd path must not green-light a CI run.
         print(f"lint: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    restrict_to = None
+    if args.changed_only:
+        restrict_to = changed_files(paths)
+        if restrict_to is None:
+            print("lint: --changed-only requires a git work tree",
+                  file=sys.stderr)
+            return 2
     cache_dir = None if args.no_cache else (args.cache_dir
                                             or DEFAULT_LINT_CACHE_DIR)
-    report = run_analysis(paths, cache_dir=cache_dir)
+    report = run_analysis(paths, cache_dir=cache_dir,
+                          restrict_to=restrict_to)
     output_format = "json" if args.json else args.format
-    if output_format == "json":
-        print(render_json(report))
-    elif output_format == "github":
-        print(render_github(report))
-    else:
-        print(render_text(report))
+    print(render(lint_tool_report(report), output_format))
     if cache_dir is not None:
         print(f"lint cache: {report.files_cached} cached, "
               f"{report.files_analyzed} analyzed ({cache_dir})",
+              file=sys.stderr)
+    return report.exit_code(strict=args.strict)
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """`repro verify`: static crash-consistency model checking."""
+    from .analysis.report import render
+    from .analysis.verify import (DEFAULT_VERIFY_CACHE_DIR, VERIFY_SYSTEMS,
+                                  VerifyConfig, run_verify)
+    from .analysis.verify.checks import (all_checks, render_check_explain)
+    from .analysis.verify.runner import verify_tool_report
+    if args.list_checks:
+        for check in all_checks():
+            print(f"{check.id:26s} [{check.family}/"
+                  f"{check.severity.value}] {check.description}")
+        return 0
+    if args.explain:
+        try:
+            print(render_check_explain(args.explain))
+        except KeyError:
+            print(f"verify: unknown check id {args.explain!r}; see "
+                  f"`repro verify --list-checks`", file=sys.stderr)
+            return 2
+        return 0
+    systems = tuple(args.system) if args.system else VERIFY_SYSTEMS
+    unknown = [s for s in systems if s not in VERIFY_SYSTEMS]
+    if unknown:
+        print(f"verify: unknown system(s): {', '.join(unknown)} "
+              f"(have: {', '.join(VERIFY_SYSTEMS)})", file=sys.stderr)
+        return 2
+    cache_dir = None if args.no_cache else Path(
+        args.cache_dir or DEFAULT_VERIFY_CACHE_DIR)
+    config = VerifyConfig(systems=systems, epochs=args.epochs)
+    report = run_verify(config, cache_dir=cache_dir)
+    output_format = "json" if args.json else args.format
+    print(render(verify_tool_report(report), output_format))
+    if cache_dir is not None:
+        print(f"verify cache: {report.systems_cached} cached, "
+              f"{report.systems_analyzed} analyzed, "
+              f"{report.files_parsed} file(s) parsed ({cache_dir})",
               file=sys.stderr)
     return report.exit_code(strict=args.strict)
 
@@ -506,11 +550,17 @@ def make_parser() -> argparse.ArgumentParser:
                              help="machine-readable findings "
                                   "(alias for --format json)")
     lint_parser.add_argument("--format", default="text",
-                             choices=("text", "json", "github"),
+                             choices=("text", "json", "github", "sarif"),
                              help="output format; 'github' emits Actions "
-                                  "::error annotations")
+                                  "::error annotations, 'sarif' emits "
+                                  "SARIF 2.1.0 for code scanning")
     lint_parser.add_argument("--strict", action="store_true",
                              help="warnings also fail the run")
+    lint_parser.add_argument("--changed-only", action="store_true",
+                             help="only report files changed vs git HEAD "
+                                  "(staged, unstaged or untracked); the "
+                                  "rest of the tree is still parsed for "
+                                  "cross-module facts")
     lint_parser.add_argument("--list-rules", action="store_true",
                              help="print the rule catalogue and exit")
     lint_parser.add_argument("--explain", metavar="RULE_ID", default=None,
@@ -522,6 +572,41 @@ def make_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--no-cache", action="store_true",
                              help="analyze every file, bypassing the cache")
     lint_parser.set_defaults(func=cmd_lint)
+
+    verify_parser = sub.add_parser(
+        "verify", help="static crash-consistency model checking "
+                       "(docs/VERIFY.md)")
+    verify_parser.add_argument("--system", action="append", default=None,
+                               metavar="SYSTEM",
+                               help="verify only this system (repeatable; "
+                                    "default: all five)")
+    verify_parser.add_argument("--epochs", type=int, default=3,
+                               help="epoch boundaries each abstract "
+                                    "machine drives (default 3)")
+    verify_parser.add_argument("--json", action="store_true",
+                               help="machine-readable verdict "
+                                    "(alias for --format json)")
+    verify_parser.add_argument("--format", default="text",
+                               choices=("text", "json", "github", "sarif"),
+                               help="output format (shared with "
+                                    "repro lint)")
+    verify_parser.add_argument("--strict", action="store_true",
+                               help="extraction warnings also fail the run")
+    verify_parser.add_argument("--list-checks", action="store_true",
+                               help="print the verify check catalogue "
+                                    "and exit")
+    verify_parser.add_argument("--explain", metavar="CHECK_ID",
+                               default=None,
+                               help="print one check's doc, rationale and "
+                                    "examples, then exit (lint rule ids "
+                                    "also accepted)")
+    verify_parser.add_argument("--cache-dir", default=None,
+                               help="verdict cache directory "
+                                    "(default .repro-cache/verify)")
+    verify_parser.add_argument("--no-cache", action="store_true",
+                               help="re-verify every system, bypassing "
+                                    "the cache")
+    verify_parser.set_defaults(func=cmd_verify)
 
     fuzz_parser = sub.add_parser(
         "fuzz", help="crash-schedule fuzzing campaign (docs/FUZZING.md)")

@@ -110,6 +110,35 @@ def test_cli_reports_cache_counts_on_stderr(tmp_path, capsys):
     assert "1 cached, 0 analyzed" in err
 
 
+def test_cold_and_warm_output_bytes_identical(tmp_path, capsys):
+    # Report-time canonical sorting makes output independent of where
+    # findings came from (rule execution vs cache merge): a cold run
+    # and a fully warm run print byte-identical stdout, in every
+    # format whose payload excludes the cache accounting counters.
+    core = tmp_path / "tree" / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "clockwork.py").write_text(
+        "import time\n\n\ndef stamp():\n    return time.time()\n")
+    (core / "shuffle.py").write_text(
+        "import random\n\nCHOICE = random.random()\n")
+    tree = tmp_path / "tree"
+    cache = tmp_path / "cache"
+    assert main(["lint", str(tree), "--cache-dir", str(cache)]) == 1
+    cold = capsys.readouterr()
+    assert "2 analyzed" in cold.err
+    assert main(["lint", str(tree), "--cache-dir", str(cache)]) == 1
+    warm = capsys.readouterr()
+    assert "2 cached, 0 analyzed" in warm.err
+    assert warm.out == cold.out
+
+    assert main(["lint", str(tree), "--cache-dir", str(cache),
+                 "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    fresh = run_analysis([tree])
+    assert payload["findings"] == [f.to_dict() for f in fresh.findings]
+    assert payload["findings"] != []
+
+
 def test_cli_no_cache_skips_cache_entirely(tmp_path, capsys):
     tree = _copy_fixtures(tmp_path, names=("det_good.py",))
     assert main(["lint", str(tree), "--no-cache"]) == 0

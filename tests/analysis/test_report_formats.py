@@ -1,8 +1,14 @@
-"""Output plumbing: GitHub workflow annotations and `--explain`."""
+"""Output plumbing: the formatter registry (github annotations, SARIF)
+and `--explain`."""
 
+import json
 from pathlib import Path
 
-from repro.analysis import all_rules, render_github, render_rule_explain, run_analysis
+import pytest
+
+from repro.analysis import (all_rules, lint_tool_report, render,
+                            render_github, render_rule_explain,
+                            run_analysis)
 from repro.cli import main
 
 
@@ -47,6 +53,45 @@ def test_cli_format_github_clean_tree(tmp_path, capsys):
     assert main(["lint", str(tmp_path), "--no-cache",
                  "--format", "github"]) == 0
     assert "::error" not in capsys.readouterr().out
+
+
+def test_sarif_output_shape(tmp_path):
+    report = run_analysis([_bad_tree(tmp_path)])
+    payload = json.loads(render(lint_tool_report(report), "sarif"))
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    rule_ids = [rule["id"] for rule in driver["rules"]]
+    assert rule_ids == sorted(rule_ids)
+    assert "det-wallclock" in rule_ids
+    result = run["results"][0]
+    assert result["ruleId"] == report.findings[0].rule
+    assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == report.findings[0].path
+    assert location["region"]["startLine"] == report.findings[0].line
+    assert location["region"]["startColumn"] == report.findings[0].col + 1
+
+
+def test_sarif_is_deterministic(tmp_path):
+    report = run_analysis([_bad_tree(tmp_path)])
+    tool = lint_tool_report(report)
+    assert render(tool, "sarif") == render(tool, "sarif")
+
+
+def test_cli_format_sarif(tmp_path, capsys):
+    assert main(["lint", str(_bad_tree(tmp_path)), "--no-cache",
+                 "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["runs"][0]["results"]
+
+
+def test_render_unknown_format_raises():
+    report = lint_tool_report(run_analysis([]))
+    with pytest.raises(KeyError, match="unknown output format"):
+        render(report, "yaml")
 
 
 def test_explain_covers_every_rule():

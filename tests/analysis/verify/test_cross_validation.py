@@ -1,0 +1,51 @@
+"""The abstract and concrete crash surfaces stay welded together.
+
+Direction 1: every site kind the dynamic census observes for a
+system×workload is emitted by that system's abstract machine — the
+model cannot under-approximate the instrumented surface.
+
+Direction 2: every kind an abstract machine emits is a runtime
+``SITE_KINDS`` member, so a compiled counterexample plan always
+parses; ``coverage_gaps()`` owns this check (plus the static effect
+surface) and must stay empty.
+"""
+
+import pytest
+
+from repro.analysis.verify import (VERIFY_SYSTEMS, VERIFY_WORKLOADS,
+                                   abstract_site_kinds)
+from repro.core.probes import SITE_KINDS
+from repro.fuzz.runner import census
+from repro.fuzz.sites import coverage_gaps
+
+#: Kinds whose runtime detail is a concrete page number the abstract
+#: machine cannot (and need not) predict — compared kind-only.
+_CONCRETE_DETAIL_KINDS = ("promote", "demote")
+
+
+@pytest.mark.parametrize("system", VERIFY_SYSTEMS)
+@pytest.mark.parametrize("workload", VERIFY_WORKLOADS)
+def test_census_kinds_subset_of_abstract_emissions(system, workload):
+    emissions = abstract_site_kinds(system)
+    counts = census(system, workload, seed=1, epochs=3, blocks=16)
+    assert counts, f"census empty for {system}/{workload}"
+    for key in counts:
+        kind, _, detail = key.partition(".")
+        assert kind in emissions, \
+            (f"{system}/{workload}: runtime fires {key!r} but the "
+             f"abstract machine never emits kind {kind!r}")
+        if detail and kind not in _CONCRETE_DETAIL_KINDS:
+            assert detail in emissions[kind], \
+                (f"{system}/{workload}: runtime fires {key!r} but the "
+                 f"abstract machine only emits details "
+                 f"{sorted(emissions[kind])!r}")
+
+
+@pytest.mark.parametrize("system", VERIFY_SYSTEMS)
+def test_abstract_kinds_subset_of_runtime_taxonomy(system):
+    for kind in abstract_site_kinds(system):
+        assert kind in SITE_KINDS
+
+
+def test_coverage_gaps_empty_in_both_directions():
+    assert coverage_gaps() == {}

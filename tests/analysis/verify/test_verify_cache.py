@@ -1,0 +1,81 @@
+"""Verify verdict cache: warm runs parse nothing, output stays
+byte-identical, and protocol edits invalidate."""
+
+import json
+import shutil
+
+from repro.analysis.verify import PROTOCOL_FILES, run_verify
+from repro.analysis.verify.extract import default_root
+from repro.cli import main
+
+
+def _protocol_copy(tmp_path):
+    root = tmp_path / "src"
+    for rel in PROTOCOL_FILES:
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        shutil.copy(default_root() / rel, target)
+    return root
+
+
+def test_cold_then_warm_run(tmp_path):
+    cache = tmp_path / "cache"
+    cold = run_verify(cache_dir=cache)
+    assert cold.systems_cached == 0
+    assert cold.systems_analyzed == 5
+    assert cold.files_parsed == len(PROTOCOL_FILES)
+    warm = run_verify(cache_dir=cache)
+    assert warm.systems_cached == 5
+    assert warm.systems_analyzed == 0
+    assert warm.files_parsed == 0            # zero files re-parsed
+    assert warm.systems == cold.systems
+
+
+def test_protocol_edit_invalidates(tmp_path):
+    root = _protocol_copy(tmp_path)
+    cache = tmp_path / "cache"
+    run_verify(root=root, cache_dir=cache)
+    target = root / "core" / "epoch.py"
+    target.write_text(target.read_text() + "\n# touched\n")
+    rerun = run_verify(root=root, cache_dir=cache)
+    assert rerun.systems_cached == 0
+    assert rerun.systems_analyzed == 5
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path):
+    cache = tmp_path / "cache"
+    run_verify(cache_dir=cache)
+    entries = list(cache.rglob("*.json"))
+    assert entries
+    for entry in entries:
+        entry.write_text("{not json")
+    rerun = run_verify(cache_dir=cache)
+    assert rerun.systems_analyzed == 5
+    assert rerun.findings == []
+
+
+def test_cold_and_warm_output_bytes_identical(tmp_path, capsys):
+    # Text output (findings + summary line) is byte-identical; the
+    # json "findings" and per-system verdicts match exactly — only the
+    # cache accounting counters may differ between cold and warm.
+    cache = tmp_path / "cache"
+    assert main(["verify", "--cache-dir", str(cache)]) == 0
+    cold = capsys.readouterr()
+    assert "5 analyzed" in cold.err
+    assert main(["verify", "--cache-dir", str(cache)]) == 0
+    warm = capsys.readouterr()
+    assert "5 cached, 0 analyzed, 0 file(s) parsed" in warm.err
+    assert warm.out == cold.out
+
+    assert main(["verify", "--cache-dir", str(cache), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    fresh = run_verify(cache_dir=None)
+    assert payload["findings"] == [f.to_dict() for f in fresh.findings]
+    assert payload["systems"] == fresh.systems
+
+
+def test_no_cache_skips_cache_entirely(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["verify", "--no-cache"]) == 0
+    assert "verify cache" not in capsys.readouterr().err
+    assert not (tmp_path / ".repro-cache").exists()
