@@ -165,6 +165,26 @@ class StopTheWorldController:
 
         try_submit()
 
+    def _issue_bulk_read_traffic(self, kind: DeviceKind, base_addr: int,
+                                 origin: Origin, count: int,
+                                 stride: int) -> None:
+        """Timed read run whose results are discarded (traffic accounting).
+
+        One bulk submission replaces ``count`` single requests; the
+        controller drives the whole run to admission with per-block
+        backpressure, so no retry closure per block is needed here."""
+        request = MemoryRequest.bulk(base_addr, False, origin, count, stride)
+        self.memctrl.submit_bulk(kind, request)
+
+    def _issue_bulk_write_traffic(self, kind: DeviceKind, base_addr: int,
+                                  origin: Origin, count: int,
+                                  stride: int) -> None:
+        """Timed payload-free write run (functional contents are placed
+        separately, so a late-serviced block can never clobber a younger
+        same-address demand write)."""
+        request = MemoryRequest.bulk(base_addr, True, origin, count, stride)
+        self.memctrl.submit_bulk(kind, request)
+
     def _issue_copy(self, src_kind: DeviceKind, src_addr: int,
                     dst_kind: DeviceKind, dst_addr: int,
                     origin: Origin) -> None:

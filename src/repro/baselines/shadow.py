@@ -14,6 +14,7 @@ role of the shadow page table and flips atomically at each commit.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Set, Tuple
 
 from ..config import SystemConfig
@@ -25,6 +26,14 @@ from ..sim.engine import Engine
 from ..sim.request import Origin
 from ..stats.collector import StatsCollector
 from .base import StopTheWorldController
+
+# Issue page copies and page flushes as bulk runs — one queue entry and
+# one request object per page instead of one per block — servicing and
+# timing stay block-by-block identical (docs/PERFORMANCE.md).  The
+# per-block reference path is kept selectable so the equivalence
+# property test can diff the two cores in one process.
+USE_BULK_RUNS = os.environ.get("REPRO_REFERENCE_CORE", "").lower() not in (
+    "1", "true", "yes")
 
 
 class ShadowPagingController(StopTheWorldController):
@@ -97,16 +106,28 @@ class ShadowPagingController(StopTheWorldController):
         dst_base = self.layout.page_slot_addr(slot)
         nvm = self.memctrl.functional_store(DeviceKind.NVM)
         dram = self.memctrl.functional_store(DeviceKind.DRAM)
-        for offset in range(self.config.blocks_per_page):
-            step = offset * self.config.block_bytes
-            # Functional copy now; timed traffic as payload-free
-            # requests so a late-serviced copy can never clobber a
-            # younger demand write to the same slot.
+        blocks = self.config.blocks_per_page
+        block_bytes = self.config.block_bytes
+        # Functional copy now; timed traffic as payload-free requests so
+        # a late-serviced copy can never clobber a younger demand write
+        # to the same slot.
+        for offset in range(blocks):
+            step = offset * block_bytes
             dram.write(dst_base + step, nvm.read(src_base + step))
-            self._issue_read_traffic(DeviceKind.NVM, src_base + step,
-                                     Origin.MIGRATION)
-            self._issue_write(DeviceKind.DRAM, dst_base + step,
-                              Origin.MIGRATION, None, None)
+        if USE_BULK_RUNS:
+            self._issue_bulk_read_traffic(DeviceKind.NVM, src_base,
+                                          Origin.MIGRATION, blocks,
+                                          block_bytes)
+            self._issue_bulk_write_traffic(DeviceKind.DRAM, dst_base,
+                                           Origin.MIGRATION, blocks,
+                                           block_bytes)
+        else:
+            for offset in range(blocks):
+                step = offset * block_bytes
+                self._issue_read_traffic(DeviceKind.NVM, src_base + step,
+                                         Origin.MIGRATION)
+                self._issue_write(DeviceKind.DRAM, dst_base + step,
+                                  Origin.MIGRATION, None, None)
         if self.layout.slots_free < self.layout.slots_total // 8:
             self.force_epoch_end("dram_full")
         return slot
@@ -146,13 +167,22 @@ class ShadowPagingController(StopTheWorldController):
             self._flush_plan.append((page, slot, dst_region))
             src_base = self.layout.page_slot_addr(slot)
             dst_base = self.layout.region_page_addr(dst_region, page)
-            for offset in range(self.config.blocks_per_page):
-                step = offset * self.config.block_bytes
+            if USE_BULK_RUNS:
                 jobs.append(Job(dst_kind=DeviceKind.NVM,
-                                dst_addr=dst_base + step,
+                                dst_addr=dst_base,
                                 origin=Origin.CHECKPOINT,
                                 src_kind=DeviceKind.DRAM,
-                                src_addr=src_base + step))
+                                src_addr=src_base,
+                                count=self.config.blocks_per_page,
+                                stride=self.config.block_bytes))
+            else:
+                for offset in range(self.config.blocks_per_page):
+                    step = offset * self.config.block_bytes
+                    jobs.append(Job(dst_kind=DeviceKind.NVM,
+                                    dst_addr=dst_base + step,
+                                    origin=Origin.CHECKPOINT,
+                                    src_kind=DeviceKind.DRAM,
+                                    src_addr=src_base + step))
         if jobs:
             probes.notify("table-persist", "pagemap")
         return [jobs]

@@ -31,6 +31,10 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.dirty_count = 0   # O(1) dirty tracking (Dirty-Block-Index-like)
+        # set index -> dirty blocks in that set.  The epoch flush walks
+        # only sets with a non-zero count (in unchanged set order), so
+        # its cost scales with the dirty footprint, not the cache size.
+        self._set_dirty: Dict[int, int] = {}
 
     # --- geometry helpers -----------------------------------------------
 
@@ -62,6 +66,8 @@ class Cache:
         if entries is not None and tag in entries:
             if not entries[tag]:
                 self.dirty_count += 1
+                self._set_dirty[set_index] = \
+                    self._set_dirty.get(set_index, 0) + 1
             entries[tag] = True
             self.policy.touch(entries, tag)
 
@@ -75,6 +81,8 @@ class Cache:
         if tag in entries:
             if dirty and not entries[tag]:
                 self.dirty_count += 1
+                self._set_dirty[set_index] = \
+                    self._set_dirty.get(set_index, 0) + 1
             entries[tag] = entries[tag] or dirty
             self.policy.touch(entries, tag)
             return None
@@ -83,10 +91,12 @@ class Cache:
             victim_tag, victim_dirty = self.policy.victim(entries)
             if victim_dirty:
                 self.dirty_count -= 1
+                self._set_dirty[set_index] -= 1
             victim = (self._rebuild_addr(set_index, victim_tag), victim_dirty)
         entries[tag] = dirty
         if dirty:
             self.dirty_count += 1
+            self._set_dirty[set_index] = self._set_dirty.get(set_index, 0) + 1
         return victim
 
     def invalidate(self, block_addr: int) -> bool:
@@ -98,6 +108,7 @@ class Cache:
         dirty = entries.pop(tag)
         if dirty:
             self.dirty_count -= 1
+            self._set_dirty[set_index] -= 1
         return dirty
 
     def clean_dirty_blocks(self) -> List[int]:
@@ -107,11 +118,25 @@ class Cache:
         Intel's CLWB), preserving locality for the next epoch.
         """
         cleaned: List[int] = []
+        if not self.dirty_count:
+            return cleaned
+        set_dirty = self._set_dirty
+        num_sets = self._num_sets
+        shift = self._block_shift
+        # Set iteration order (hence writeback order) is identical to
+        # the full scan's: _sets insertion order, filtered.
         for set_index, entries in self._sets.items():
+            if not set_dirty.get(set_index):
+                continue
+            remaining = set_dirty[set_index]
             for tag, dirty in entries.items():
                 if dirty:
-                    cleaned.append(self._rebuild_addr(set_index, tag))
+                    cleaned.append(((tag * num_sets) + set_index) << shift)
                     entries[tag] = False
+                    remaining -= 1
+                    if not remaining:
+                        break
+            set_dirty[set_index] = 0
         self.dirty_count = 0
         return cleaned
 
@@ -119,6 +144,7 @@ class Cache:
         """Drop everything (simulated power loss)."""
         self._sets.clear()
         self.dirty_count = 0
+        self._set_dirty.clear()
 
     @property
     def resident_blocks(self) -> int:

@@ -16,9 +16,12 @@ that write is durable.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from functools import partial
+from typing import Callable, Deque, List, Optional, Sequence
 
+from ..errors import SimulationError
 from ..mem.controller import DeviceKind, MemoryController
 from ..sim.engine import Engine
 from ..sim.request import MemoryRequest, Origin
@@ -32,6 +35,13 @@ class Job:
     * ``src_kind is None`` — a plain write of ``data`` to the destination.
     * otherwise — a copy: read ``src_addr`` from ``src_kind``, then write
       the returned payload to ``dst_addr`` on ``dst_kind``.
+
+    A copy job with ``count > 1`` covers a run of ``count`` blocks spaced
+    ``stride`` bytes apart (a page flush).  It is executed as one bulk
+    read run and one bulk write run (docs/PERFORMANCE.md) but paced,
+    accounted and serviced block by block — the in-flight window, queue
+    backpressure and device timing are identical to issuing ``count``
+    single-block copy jobs.
     """
 
     dst_kind: DeviceKind
@@ -40,6 +50,24 @@ class Job:
     src_kind: Optional[DeviceKind] = None
     src_addr: int = 0
     data: Optional[bytes] = None
+    count: int = 1
+    stride: int = 0
+
+
+class _BulkCopy:
+    """Driver state for one bulk copy job: its read and write runs, plus
+    write payloads that found the destination queue full and are parked
+    (one retry waiter each, like the single-job path's ``try_write``)."""
+
+    __slots__ = ("job", "read", "write", "pending_data")
+
+    def __init__(self, job: Job) -> None:
+        if job.src_kind is None:
+            raise SimulationError("bulk checkpoint jobs must be copies")
+        self.job = job
+        self.read: Optional[MemoryRequest] = None
+        self.write: Optional[MemoryRequest] = None
+        self.pending_data: Deque[Optional[bytes]] = deque()
 
 
 class CheckpointRun:
@@ -94,20 +122,107 @@ class CheckpointRun:
         self._pump()
 
     def _pump(self) -> None:
-        """Issue jobs while slots and the in-flight budget allow."""
+        """Issue work while slots and the in-flight budget allow.
+
+        The in-flight unit is a *block*: a single job is one block, and
+        a bulk job contributes one unit per admitted-but-unwritten
+        block, so the window behaves exactly as it did when page
+        flushes were ``count`` individual jobs.
+        """
         if self._finished:
             return
         while self._pending and self._outstanding < self.max_in_flight:
             job = self._pending.pop()
-            if not self._issue(job):
-                # Queue full: put it back and retry when a slot frees.
-                self._pending.append(job)
-                kind = job.src_kind if job.src_kind is not None else job.dst_kind
-                is_write = job.src_kind is None
-                self.memctrl.wait_for_slot(kind, is_write, self._pump)
+            if isinstance(job, _BulkCopy):
+                driver = job
+            elif job.count > 1:
+                driver = self._make_bulk(job)
+            else:
+                if not self._issue(job):
+                    # Queue full: put it back and retry when a slot frees.
+                    self._pending.append(job)
+                    kind = (job.src_kind if job.src_kind is not None
+                            else job.dst_kind)
+                    is_write = job.src_kind is None
+                    self.memctrl.wait_for_slot(kind, is_write, self._pump)
+                    return
+                continue
+            outcome = self._pump_bulk(driver)
+            if outcome is None:
+                continue                     # every read block admitted
+            self._pending.append(driver)
+            if outcome == "full":
+                self.memctrl.wait_for_slot(driver.job.src_kind, False,
+                                           self._pump)
                 return
+            break                            # window full; _job_done resumes
         if not self._pending and self._outstanding == 0:
             self._next_stage()
+
+    def _make_bulk(self, job: Job) -> _BulkCopy:
+        driver = _BulkCopy(job)
+        driver.read = MemoryRequest.bulk(
+            job.src_addr, False, job.origin, job.count, job.stride,
+            callback=partial(self._bulk_read_done, driver))
+        driver.write = MemoryRequest.bulk(
+            job.dst_addr, True, job.origin, job.count, job.stride,
+            callback=self._bulk_block_written,
+            carries_data=True)
+        return driver
+
+    def _pump_bulk(self, driver: _BulkCopy) -> Optional[str]:
+        """Admit read blocks of a bulk copy until the run is fully
+        admitted (None), the window fills ("window"), or the source
+        queue rejects ("full")."""
+        read = driver.read
+        src_kind = driver.job.src_kind
+        while read.issued < read.total:
+            if self._outstanding >= self.max_in_flight:
+                return "window"
+            if not self.memctrl.bulk_admit_next(src_kind, read):
+                return "full"
+            self._outstanding += 1
+        return None
+
+    def _bulk_read_done(self, driver: _BulkCopy, _run: MemoryRequest,
+                        _index: int, payload: Optional[bytes]) -> None:
+        """One block of a bulk copy has been read; write it out.
+
+        Blocks of a run are serviced in order (they share a bank), so
+        payloads arrive — and are written — in block order.  A payload
+        that finds the destination queue full parks FIFO with one retry
+        waiter, exactly like a single copy job's ``try_write``.
+        """
+        if self._finished:
+            return
+        job = driver.job
+        if driver.pending_data or not self.memctrl.bulk_admit_next(
+                job.dst_kind, driver.write, payload):
+            driver.pending_data.append(payload)
+            self.memctrl.wait_for_slot(
+                job.dst_kind, True, lambda: self._bulk_write_retry(driver))
+
+    def _bulk_block_written(self, _run: MemoryRequest, _index: int,
+                            _payload: Optional[bytes]) -> None:
+        """One block of a bulk copy is durable — ``_job_done``, inlined
+        (this fires once per written block)."""
+        if self._finished:
+            return
+        self._outstanding -= 1
+        if not self._pending and self._outstanding == 0:
+            self._next_stage()
+        elif self._pending:
+            self._pump()
+
+    def _bulk_write_retry(self, driver: _BulkCopy) -> None:
+        if self._finished:
+            return
+        job = driver.job
+        data = driver.pending_data.popleft()
+        if not self.memctrl.bulk_admit_next(job.dst_kind, driver.write, data):
+            driver.pending_data.appendleft(data)
+            self.memctrl.wait_for_slot(
+                job.dst_kind, True, lambda: self._bulk_write_retry(driver))
 
     def _issue(self, job: Job) -> bool:
         if job.src_kind is None:

@@ -18,12 +18,24 @@ Ordering and visibility rules the consistency protocols rely on:
   lost, like real controller SRAM on power failure,
 * :meth:`fence_writes` implements §4.4's "flush the NVM write queue":
   a fence over writes submitted so far, unaffected by later arrivals.
+
+Bulk runs (docs/PERFORMANCE.md): page-sized copies and checkpoint
+flushes enter as one :meth:`submit_bulk` / :meth:`bulk_admit_next` run
+instead of one request per block.  The device still services runs block
+by block with full re-arbitration, per-block wear accounting, per-block
+slot backpressure and per-block completion events, so a run is
+timing-identical to the per-block request storm it replaces; only the
+host-side object churn is gone.  When a run cannot legally extend its
+queue entry (another entry holds the FIFO tail), the next block is
+admitted as an ordinary single request at exactly the position the
+per-block representation would have given it.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from functools import partial
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import SystemConfig
 from ..errors import SimulationError
@@ -52,7 +64,7 @@ class _DeviceState:
     """
 
     __slots__ = ("device", "store", "read_queue", "write_queue",
-                 "active", "in_flight_writes", "kicking",
+                 "active", "write_inflight", "kicking", "settled",
                  "draining", "drain_waiters", "fence_blockers",
                  "read_counts", "write_counts",
                  "record_read_latency", "record_write_latency")
@@ -65,13 +77,22 @@ class _DeviceState:
         self.write_queue = write_q
         # bank -> (completion event, request) for in-flight services.
         self.active: Dict[int, Tuple[Event, MemoryRequest]] = {}
-        self.in_flight_writes: Set[int] = set()
+        # In-flight write accesses (block granularity), kept as a plain
+        # counter: the drain check is an integer test, and write fences
+        # recover the in-flight request set from ``active``.
+        self.write_inflight = 0
         self.kicking = False
+        # True when the last full scheduling pass proved no queued block
+        # is serviceable (every candidate's bank busy or chain-blocked).
+        # Lets admission for a busy bank skip the futile re-scan; any
+        # bank release clears it (see _kick_admit).
+        self.settled = False
         self.draining = False
         self.drain_waiters: List[Callable[[], None]] = []
         # Write fences, indexed by blocking request id: req_id -> the
         # [outstanding count, callback] cells that wait on it.  A
         # completing write touches only its own fences, not all of them.
+        # (Bulk runs carry their fence links on the request instead.)
         self.fence_blockers: Dict[int, List[list]] = {}
         reads, writes, read_hist, write_hist = \
             stats.device_channels(device.name)
@@ -106,7 +127,16 @@ class MemoryController:
                 BoundedQueue(f"{kind.value}-write", config.write_queue_entries),
                 stats,
             )
+        # The producer API resolves device state with an identity branch
+        # instead of hashing the DeviceKind enum (runs per request).
+        self._dram = self._states[DeviceKind.DRAM]
+        self._nvm = self._states[DeviceKind.NVM]
         self.crashed = False
+        # Requests accepted through the producer API.  A bulk run counts
+        # once however many blocks it covers; the per-block service
+        # count lives in the stats counters (``request_blocks`` in
+        # ``repro perf``).
+        self.requests_issued = 0
 
     # --- producer API ------------------------------------------------------
 
@@ -114,7 +144,7 @@ class MemoryController:
         """Enqueue ``request``; returns False if the target queue is full."""
         if self.crashed:
             return False
-        state = self._states[kind]
+        state = self._dram if kind is DeviceKind.DRAM else self._nvm
         queue = state.write_queue if request.is_write else state.read_queue
         request.issue_time = self.engine.now
         if request.bank is None:
@@ -124,13 +154,132 @@ class MemoryController:
         if not queue.try_enqueue(request):
             request.issue_time = None
             return False
-        self._kick(state)
+        self.requests_issued += 1
+        self._kick_admit(state, request.bank)
         return True
+
+    def submit_bulk(self, kind: DeviceKind, request: MemoryRequest) -> bool:
+        """Accept a bulk run and drive it to full admission.
+
+        As many blocks as fit are admitted now; each remaining block
+        registers one queue waiter — exactly the retry the per-block
+        representation registered per rejected request — and is admitted
+        (run extension, or single-request fallback) as slots free up.
+        Always returns True: the run is owned by the controller once
+        accepted.  Per-block completion callbacks report progress.
+        """
+        if self.crashed:
+            return False
+        state = self._dram if kind is DeviceKind.DRAM else self._nvm
+        queue = state.write_queue if request.is_write else state.read_queue
+        self._decode_bulk(state, request)
+        request.issue_time = self.engine.now
+        self.requests_issued += 1
+        admitted = queue.try_enqueue_bulk(request)
+        if admitted:
+            now = self.engine.now
+            request.admit_times.extend([now] * admitted)
+        remaining = request.total - request.issued
+        if remaining:
+            def waiter():
+                self._bulk_admit_one(state, queue, request)
+
+            for _ in range(remaining):
+                queue.wait_for_slot(waiter)
+        if admitted:
+            self._kick_admit(state, request.bank)
+        return True
+
+    def bulk_admit_next(self, kind: DeviceKind, request: MemoryRequest,
+                        data: Optional[bytes] = None) -> bool:
+        """Admit the next block of a caller-paced bulk run.
+
+        Returns False when the queue is full (the caller registers
+        :meth:`wait_for_slot` and retries, exactly like a failed
+        :meth:`submit`).  ``data`` is the block's write payload, if any.
+        Checkpoint runs use this to keep their in-flight window.
+        """
+        if self.crashed:
+            return False
+        state = self._dram if kind is DeviceKind.DRAM else self._nvm
+        queue = state.write_queue if request.is_write else state.read_queue
+        if queue._size >= queue.capacity:
+            return False
+        if request.bank is None:
+            self._decode_bulk(state, request)
+            request.issue_time = self.engine.now
+            self.requests_issued += 1
+        if data is not None:
+            request.block_data[request.issued] = data
+        if queue.grow_bulk(request):
+            request.admit_times.append(self.engine.now)
+        else:
+            self._admit_fallback(state, queue, request)
+        self._kick_admit(state, request.bank)
+        return True
+
+    def _decode_bulk(self, state: _DeviceState,
+                     request: MemoryRequest) -> None:
+        """Cache the run's bank/row; a run must stay inside one row so
+        that one decode (and one FR-FCFS candidate) covers every block."""
+        device = state.device
+        bank, row = device.decode(request.addr)
+        last = request.addr + (request.total - 1) * request.stride
+        if device.decode(last) != (bank, row):
+            raise SimulationError(
+                f"bulk run 0x{request.addr:x}+{request.total}x"
+                f"{request.stride} crosses a row boundary")
+        request.bank = bank
+        request.row = row
+
+    def _bulk_admit_one(self, state: _DeviceState, queue: BoundedQueue,
+                        request: MemoryRequest) -> None:
+        """Queue-waiter target: admit one more block of a run.
+
+        Woken waiters own the slot that just freed, so admission cannot
+        fail; it lands as a run extension when the run holds the queue
+        tail, else as a position-exact single-request fallback.
+        """
+        if self.crashed:
+            return
+        if queue.grow_bulk(request):
+            request.admit_times.append(self.engine.now)
+        else:
+            self._admit_fallback(state, queue, request)
+        self._kick_admit(state, request.bank)
+
+    def _admit_fallback(self, state: _DeviceState, queue: BoundedQueue,
+                        request: MemoryRequest) -> None:
+        """Admit run block ``request.issued`` as an ordinary single
+        request (the run cannot extend its entry without jumping the
+        FIFO order).  The single completes through the normal path and
+        relays into the run's per-block callback."""
+        index = request.issued
+        addr = request.addr + index * request.stride
+        data = (request.block_data[index]
+                if request.block_data is not None else None)
+        single = MemoryRequest(addr, request.is_write, request.origin,
+                               data=data)
+        if request.callback is not None:
+            single.callback = partial(self._fallback_done, request, index)
+        single.bank = request.bank
+        single.row = request.row
+        single.issue_time = self.engine.now
+        request.issued += 1
+        request.admit_times.append(self.engine.now)
+        if not queue.try_enqueue(single):
+            raise SimulationError("fallback admission on a full queue")
+
+    def _fallback_done(self, bulk: MemoryRequest, index: int,
+                       single: MemoryRequest) -> None:
+        callback = bulk.callback
+        if callback is not None:
+            callback(bulk, index, single.data)
 
     def wait_for_slot(self, kind: DeviceKind, is_write: bool,
                       callback: Callable[[], None]) -> None:
         """Invoke ``callback`` when a slot frees in the chosen queue."""
-        state = self._states[kind]
+        state = self._dram if kind is DeviceKind.DRAM else self._nvm
         queue = state.write_queue if is_write else state.read_queue
         queue.wait_for_slot(callback)
 
@@ -140,7 +289,7 @@ class MemoryController:
         no write is in flight.  Prefer :meth:`fence_writes` — this form
         never fires while demand writes keep arriving."""
         state = self._states[kind]
-        if not state.write_queue and not state.in_flight_writes:
+        if not state.write_queue and not state.write_inflight:
             callback()
             return
         state.drain_waiters.append(callback)
@@ -152,21 +301,46 @@ class MemoryController:
         has been serviced.  Writes submitted after the fence do not
         delay it."""
         state = self._states[kind]
-        # Queued and in-flight writes are disjoint (a request leaves its
-        # queue when service starts), so this collects each id once, in
-        # a deterministic order.
-        outstanding = [r.req_id for r in state.write_queue.items()]
-        outstanding.extend(sorted(state.in_flight_writes))
+        # Queued and in-flight accesses are disjoint (a block leaves its
+        # queue slot when service starts), so each outstanding write
+        # block is counted exactly once.  Singles are indexed by request
+        # id; a bulk run carries its fence links directly and pays one
+        # decrement per subsequent block completion — in-order service
+        # within a run makes "the next `covered` completions" exactly
+        # the blocks outstanding now.  Blocks of a run not yet admitted
+        # are writes "after the fence" and are not covered, matching the
+        # per-block representation where they are not yet queued.
+        fence = [0, callback]
+        blockers = state.fence_blockers
+        outstanding = 0
+        for request in state.write_queue.items():
+            if request.total == 1:
+                blockers.setdefault(request.req_id, []).append(fence)
+                outstanding += 1
+            else:
+                covered = request.queued + (request.serviced
+                                            - request.completed)
+                request.fences.append([fence, covered])
+                outstanding += covered
+        for _event, request in state.active.values():
+            if not request.is_write:
+                continue
+            if request.total == 1:
+                blockers.setdefault(request.req_id, []).append(fence)
+                outstanding += 1
+            elif not request.in_queue:
+                # A run with no queued blocks left but one still in
+                # flight (a run keeps at most one access in flight —
+                # its blocks share a bank).  Queued runs were covered
+                # above, in-flight block included.
+                covered = request.serviced - request.completed
+                if covered:
+                    request.fences.append([fence, covered])
+                    outstanding += covered
         if not outstanding:
             callback()
             return
-        # Index the fence by every write it waits on: each completing
-        # write then finds its fences in one lookup instead of every
-        # write scanning every open fence.
-        fence = [len(outstanding), callback]
-        blockers = state.fence_blockers
-        for req_id in outstanding:
-            blockers.setdefault(req_id, []).append(fence)
+        fence[0] = outstanding
 
     # --- functional access for recovery (not timed) --------------------------
 
@@ -205,10 +379,13 @@ class MemoryController:
             state.write_queue.drop_all()
             state.drain_waiters.clear()
             state.fence_blockers.clear()
-            for event, _request in state.active.values():
+            for event, request in state.active.values():
                 event.cancel()
+                if request.total > 1:
+                    request.fences.clear()
             state.active.clear()
-            state.in_flight_writes.clear()
+            state.write_inflight = 0
+            state.settled = False
             state.device.reset_row_buffers()
             if not state.device.persistent:
                 state.store.erase()
@@ -225,27 +402,68 @@ class MemoryController:
             return
         state.kicking = True
         try:
+            settled = False
             while len(state.active) < state.device.num_banks:
                 request = self._select(state)
                 if request is None:
+                    settled = True
                     break
                 self._start_service(state, request)
+            state.settled = settled
         finally:
             state.kicking = False
+
+    def _kick_admit(self, state: _DeviceState, bank: int) -> None:
+        """The post-admission kick, given that exactly one block for
+        ``bank`` was just admitted.
+
+        When the device is *settled* (the last pass proved nothing is
+        serviceable — a fact only a bank release can change, and bank
+        releases clear the flag) and ``bank`` is busy, the new block is
+        ineligible and nothing else became eligible, so the full scan
+        would provably select nothing.  Mirror the one write-drain
+        hysteresis update that scan's single futile ``_select`` would
+        have applied and return.  All other cases take the full pass.
+        """
+        if state.kicking or self.crashed:
+            return
+        active = state.active
+        if bank in active and state.settled:
+            # A full house does zero _select passes; match it exactly.
+            if len(active) < state.device.num_banks:
+                writes = state.write_queue
+                pending_writes = writes._size
+                if state.draining and pending_writes <= writes.capacity // 4:
+                    state.draining = False
+                if (not state.draining
+                        and pending_writes >= (3 * writes.capacity) // 4):
+                    state.draining = True
+            return
+        self._kick(state)
 
     def _start_service(self, state: _DeviceState,
                        request: MemoryRequest) -> None:
         bank = request.bank
         if bank in state.active:
             raise SimulationError("selected a request for a busy bank")
-        latency = state.device.access_decoded(
-            bank, request.row, request.addr, request.is_write)
+        if request.total == 1:
+            latency = state.device.access_decoded(
+                bank, request.row, request.addr, request.is_write)
+            # The completion event carries the device state directly: the
+            # hot path never re-resolves the enum-keyed _states dict.
+            event = self.engine.schedule(
+                latency, self._complete, state, request, bank)
+        else:
+            # One block of a run: per-block device access (row-buffer
+            # state and per-block wear behave as if issued singly).
+            addr = request.service_addr
+            latency = state.device.access_decoded(
+                bank, request.row, addr, request.is_write)
+            event = self.engine.schedule(
+                latency, self._complete_bulk, state, request, bank,
+                addr, request.service_index)
         if request.is_write:
-            state.in_flight_writes.add(request.req_id)
-        # The completion event carries the device state directly: the
-        # hot path never re-resolves the enum-keyed _states dict.
-        event = self.engine.schedule(
-            latency, self._complete, state, request, bank)
+            state.write_inflight += 1
         state.active[bank] = (event, request)
 
     def _select(self, state: _DeviceState) -> Optional[MemoryRequest]:
@@ -257,29 +475,38 @@ class MemoryController:
         read queue.
         """
         reads, writes = state.read_queue, state.write_queue
-        if state.draining and len(writes) <= writes.capacity // 4:
+        pending_writes = writes._size
+        if state.draining and pending_writes <= writes.capacity // 4:
             state.draining = False
-        if not state.draining and len(writes) >= (3 * writes.capacity) // 4:
+        if not state.draining and pending_writes >= (3 * writes.capacity) // 4:
             state.draining = True
 
         active = state.active
         open_rows = state.device.open_rows
-        order = (writes, reads) if state.draining else (reads, writes)
-        for queue in order:
-            if queue:
-                request = queue.pop_ready(
-                    active, open_rows, demand_priority=queue is reads)
+        if state.draining:
+            if pending_writes:
+                request = writes.pop_ready(active, open_rows, False)
                 if request is not None:
                     return request
+            if reads._size:
+                return reads.pop_ready(active, open_rows, True)
+        else:
+            if reads._size:
+                request = reads.pop_ready(active, open_rows, True)
+                if request is not None:
+                    return request
+            if pending_writes:
+                return writes.pop_ready(active, open_rows, False)
         return None
 
     def _complete(self, state: _DeviceState, request: MemoryRequest,
                   bank: int) -> None:
-        state.active.pop(bank, None)
+        del state.active[bank]
+        state.settled = False     # a free bank may unblock queued work
         latency = (self.engine.now - request.issue_time
                    if request.issue_time is not None else None)
         if request.is_write:
-            state.in_flight_writes.discard(request.req_id)
+            state.write_inflight -= 1
             state.store.write(request.addr, request.data)
             state.write_counts[request.origin_key] += 1
             if latency is not None:
@@ -302,7 +529,56 @@ class MemoryController:
                 if fence[0] == 0:
                     fence[1]()
         if (state.drain_waiters and not state.write_queue
-                and not state.in_flight_writes):
+                and not state.write_inflight):
+            waiters, state.drain_waiters = state.drain_waiters, []
+            for waiter in waiters:
+                waiter()
+        self._kick(state)
+
+    def _complete_bulk(self, state: _DeviceState, request: MemoryRequest,
+                       bank: int, addr: int, index: int) -> None:
+        """Completion of one block of a bulk run — the per-block twin of
+        :meth:`_complete`, with latency measured from the block's own
+        admission time."""
+        del state.active[bank]
+        state.settled = False     # a free bank may unblock queued work
+        now = self.engine.now
+        latency = now - request.admit_times[index]
+        payload = None
+        if request.is_write:
+            state.write_inflight -= 1
+            data = (request.block_data[index]
+                    if request.block_data is not None else None)
+            state.store.write(addr, data)
+            state.write_counts[request.origin_key] += 1
+            state.record_write_latency(latency)
+            request.completed += 1
+            fences = request.fences
+            if fences:
+                position = 0
+                while position < len(fences):
+                    pair = fences[position]
+                    pair[1] -= 1
+                    fence = pair[0]
+                    fence[0] -= 1
+                    if fence[0] == 0:
+                        fence[1]()
+                    if pair[1] == 0:
+                        fences.pop(position)
+                    else:
+                        position += 1
+        else:
+            payload = state.write_queue.youngest_payload(addr)
+            if payload is None:
+                payload = state.store.read(addr)
+            state.read_counts[request.origin_key] += 1
+            state.record_read_latency(latency)
+            request.completed += 1
+        callback = request.callback
+        if callback is not None:
+            callback(request, index, payload)
+        if (state.drain_waiters and not state.write_queue
+                and not state.write_inflight):
             waiters, state.drain_waiters = state.drain_waiters, []
             for waiter in waiters:
                 waiter()

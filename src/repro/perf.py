@@ -66,7 +66,13 @@ def _run_cell(workload: str, system: str, ops: int,
         # Deterministic simulated outcomes (cross-checkable):
         "cycles": stats.cycles,
         "events": events,
+        # ``requests`` stays the per-block service count (comparable
+        # with every older entry); ``requests_issued`` counts producer
+        # API calls — a bulk run is one issue however many blocks it
+        # covers, so this is the host-side object-churn figure the
+        # batched core shrinks.
         "requests": requests,
+        "requests_issued": machine.memctrl.requests_issued,
         # Host-side measurements:
         "wall_seconds": round(wall, 4),
         "events_per_sec": round(events / wall) if wall else 0,
@@ -91,6 +97,7 @@ def run_perf(ops: Optional[int] = None, quick: bool = False,
     wall = sum(cell["wall_seconds"] for cell in cells)
     events = sum(cell["events"] for cell in cells)
     requests = sum(cell["requests"] for cell in cells)
+    issued = sum(cell["requests_issued"] for cell in cells)
     return {
         "label": label or ("quick" if quick else "full"),
         "mode": "quick" if quick else "full",
@@ -102,6 +109,7 @@ def run_perf(ops: Optional[int] = None, quick: bool = False,
             "wall_seconds": round(wall, 4),
             "events": events,
             "requests": requests,
+            "requests_issued": issued,
             "events_per_sec": round(events / wall) if wall else 0,
             "requests_per_sec": round(requests / wall) if wall else 0,
         },
@@ -131,22 +139,50 @@ def append_entry(entry: Dict[str, object],
     return trajectory
 
 
-def find_baseline(trajectory: Dict[str, object],
-                  mode: Optional[str] = None) -> Optional[Dict[str, object]]:
-    """Most recent recorded entry, preferring one with a matching mode.
-
-    A quick CI run compares fairest against the last quick entry; when
-    only full entries exist, events/sec is still comparable because the
-    metric is per-second, not per-run.
-    """
-    entries = list(trajectory.get("entries", []))
-    if not entries:
+def _matrix_shape(entry: Dict[str, object]) -> Optional[tuple]:
+    """The sorted (workload, system) pairs an entry measured, or None
+    for a malformed entry."""
+    cells = entry.get("cells")
+    if not isinstance(cells, list) or not cells:
         return None
-    if mode is not None:
-        matching = [e for e in entries if e.get("mode") == mode]
-        if matching:
-            return matching[-1]
-    return entries[-1]
+    try:
+        return tuple(sorted((c["workload"], c["system"]) for c in cells))
+    except (TypeError, KeyError):
+        return None
+
+
+def find_baseline(trajectory: Dict[str, object],
+                  mode: Optional[str] = None,
+                  ops: Optional[int] = None,
+                  shape: Optional[tuple] = None,
+                  ) -> Optional[Dict[str, object]]:
+    """Most recent entry measuring the *same thing*: same mode, same
+    trace length, same (workload, system) matrix.
+
+    Events/sec depends on every one of those — a quick (3k-op) run
+    compared against a full (12k-op) baseline reports a phantom
+    regression or a phantom win, and a partial matrix is not comparable
+    to the full one.  Entries that don't match every provided criterion
+    are skipped, and when nothing matches (including an empty or
+    missing trajectory) the result is simply "no baseline" — never a
+    cross-mode fallback.
+    """
+    entries = trajectory.get("entries") or []
+    if not isinstance(entries, list):
+        return None
+    for entry in reversed(entries):
+        if not isinstance(entry, dict):
+            continue
+        if entry.get("totals", {}).get("events_per_sec") is None:
+            continue
+        if mode is not None and entry.get("mode") != mode:
+            continue
+        if ops is not None and entry.get("ops") != ops:
+            continue
+        if shape is not None and _matrix_shape(entry) != shape:
+            continue
+        return entry
+    return None
 
 
 def compare_to_baseline(entry: Dict[str, object],
@@ -171,7 +207,8 @@ def main(args) -> int:
     entry = run_perf(ops=args.ops, quick=args.quick, label=args.label,
                      progress=None if args.json else progress)
     path = Path(args.output)
-    baseline = find_baseline(load_trajectory(path), mode=entry["mode"])
+    baseline = find_baseline(load_trajectory(path), mode=entry["mode"],
+                             ops=entry["ops"], shape=_matrix_shape(entry))
 
     if args.json:
         print(json.dumps(entry, indent=2, sort_keys=True))
@@ -188,6 +225,9 @@ def main(args) -> int:
                   f"{baseline.get('label')!r} "
                   f"({baseline['totals']['events_per_sec']:,d} events/sec, "
                   f"recorded {baseline.get('recorded_at')})")
+        else:
+            print("perf: no comparable baseline (same mode/ops/matrix) "
+                  f"in {path}")
 
     exit_code = 0
     if args.check and baseline is not None:

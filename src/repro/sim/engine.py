@@ -6,6 +6,10 @@ the role gem5's event queue plays in the paper's infrastructure.
 
 Hot-path design notes (docs/PERFORMANCE.md):
 
+* events *are* their heap entries (``[time, seq, callback, args]``
+  lists), so every heap sift comparison is a C-level list comparison
+  that stops at the unique sequence number — no Python ``__lt__``
+  calls on the push/pop path;
 * callbacks take positional arguments stored on the event, so services
   schedule bound methods instead of allocating per-service closures;
 * a live-event counter maintained on schedule/fire/cancel makes
@@ -13,7 +17,13 @@ Hot-path design notes (docs/PERFORMANCE.md):
 * cancelled events stay in the heap until popped (cheap cancel), but
   when they outnumber the live events the heap is compacted so a
   cancel-heavy phase cannot make every subsequent push pay for dead
-  weight.
+  weight;
+* the run loop *time-skips*: between events the clock jumps straight
+  to the next event's timestamp (and a bounded :meth:`run` jumps to
+  ``until``), never ticking through idle cycles.  The jump is clamped
+  to be monotonic, preserving the invariant that :meth:`schedule_at`
+  enforces eagerly — an event time in the past is rejected at the
+  offending call site, not when the heap later pops it.
 """
 
 from __future__ import annotations
@@ -45,26 +55,41 @@ class Engine:
     def schedule(self, delay: int, callback: Callable[..., None],
                  *args) -> Event:
         """Schedule ``callback(*args)`` to run ``delay`` cycles from now."""
-        if not isinstance(delay, int) or isinstance(delay, bool):
+        if type(delay) is not int and (isinstance(delay, bool)
+                                       or not isinstance(delay, int)):
             raise SimulationError(
                 f"delay must be an integer cycle count, got "
                 f"{type(delay).__name__} ({delay!r})")
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self.now + delay, callback, *args)
+        seq = self._seq + 1
+        self._seq = seq
+        event = Event((self.now + delay, seq, callback, args))
+        event._owner = self
+        heapq.heappush(self._queue, event)
+        self._live += 1
+        return event
 
     def schedule_at(self, time: int, callback: Callable[..., None],
                     *args) -> Event:
-        """Schedule ``callback(*args)`` at absolute cycle ``time``."""
-        if not isinstance(time, int) or isinstance(time, bool):
+        """Schedule ``callback(*args)`` at absolute cycle ``time``.
+
+        Times in the past are rejected *here*, at the offending call
+        site — not later as a confusing "event heap produced a past
+        event" failure when the heap pops the event.
+        """
+        if type(time) is not int and (isinstance(time, bool)
+                                      or not isinstance(time, int)):
             raise SimulationError(
                 f"event time must be an integer cycle count, got "
                 f"{type(time).__name__} ({time!r})")
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self.now}")
-        self._seq += 1
-        event = Event(time, self._seq, callback, args, owner=self)
+        seq = self._seq + 1
+        self._seq = seq
+        event = Event((time, seq, callback, args))
+        event._owner = self
         heapq.heappush(self._queue, event)
         self._live += 1
         return event
@@ -77,31 +102,43 @@ class Engine:
         ``until`` stops the run once simulated time would pass that cycle
         (events at exactly ``until`` still fire).  ``max_events`` is a
         safety valve for tests.  Returns the number of events fired.
+
+        Time only moves forward: the end-of-run skip to ``until`` is
+        clamped so a bounded run can never rewind the clock below a
+        time the engine already reached (which would let
+        :meth:`schedule_at` admit events into the rewound window and
+        fire them out of order).
         """
         fired = 0
         queue = self._queue
+        pop = heapq.heappop
+        now = self.now
         while queue:
             event = queue[0]
-            if until is not None and event.time > until:
-                self.now = until
+            time = event[0]
+            if until is not None and time > until:
+                if until > now:
+                    self.now = until
                 break
-            heapq.heappop(queue)
-            if event.cancelled:
+            pop(queue)
+            callback = event[2]
+            if callback is None:
                 self._cancelled_in_heap -= 1
                 continue
-            if event.time < self.now:
+            if time < now:
                 raise SimulationError("event heap produced a past event")
-            self.now = event.time
+            self.now = now = time
             self._live -= 1
             event._owner = None      # fired: a later cancel() is a no-op
-            event.callback(*event.args)
+            callback(*event[3])
+            now = self.now
             fired += 1
-            self._events_fired += 1
             if max_events is not None and fired >= max_events:
                 break
         else:
-            if until is not None and until > self.now:
+            if until is not None and until > now:
                 self.now = until
+        self._events_fired += fired
         return fired
 
     def run_until_idle(self, max_events: int = 100_000_000) -> int:
@@ -128,11 +165,23 @@ class Engine:
         seq)`` key, so filtering + heapify preserves firing order
         exactly.
         """
-        self._queue = [event for event in self._queue if not event.cancelled]
+        self._queue = [event for event in self._queue if event[2] is not None]
         heapq.heapify(self._queue)
         self._cancelled_in_heap = 0
 
     # --- introspection -----------------------------------------------------
+
+    def peek_time(self) -> Optional[int]:
+        """Timestamp of the next live event, or None when idle.
+
+        The time-skip fast path's target: when everything is idle the
+        clock moves straight here on the next :meth:`run` step.
+        """
+        queue = self._queue
+        while queue and queue[0][2] is None:
+            heapq.heappop(queue)
+            self._cancelled_in_heap -= 1
+        return queue[0][0] if queue else None
 
     @property
     def pending_events(self) -> int:

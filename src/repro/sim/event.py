@@ -4,44 +4,68 @@ Events are ordered by ``(time, sequence)`` — the sequence number is a
 monotonically increasing tie-breaker so that events scheduled earlier
 fire earlier at the same timestamp, making runs fully deterministic.
 
-An event carries its callback's positional arguments so hot paths can
-schedule a bound method directly (``schedule(lat, self._done, req)``)
-instead of allocating a fresh closure per service.
+Hot-path layout (docs/PERFORMANCE.md): an :class:`Event` *is* its heap
+entry — a ``list`` subclass holding ``[time, seq, callback, args]``.
+``heapq`` therefore orders events with C-level list comparison (which
+never looks past the unique ``seq``) instead of calling a Python-level
+``__lt__`` once per heap level on every push and pop.  Cancellation
+clears the callback slot in place, so the engine's pop loop skips dead
+events with a single load.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional, Tuple
 
+# Slot indices into the event's list payload.
+TIME, SEQ, CALLBACK, ARGS = 0, 1, 2, 3
 
-class Event:
-    """A scheduled callback.  Cancel with :meth:`cancel`."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_owner")
+class Event(list):
+    """A scheduled callback.  Cancel with :meth:`cancel`.
 
-    def __init__(self, time: int, seq: int, callback: Callable[..., None],
-                 args: Tuple = (), owner: Optional[object] = None):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-        # The engine that counts this event as live (None once fired,
-        # cancelled, or for standalone events built outside an engine).
-        self._owner = owner
+    The list payload is ``[time, seq, callback, args]``; ``callback``
+    is set to ``None`` when the event is cancelled (the engine's pop
+    loop and compaction skip it).  The engine releases ownership
+    (``_owner``) once the event fires, so a late :meth:`cancel` never
+    corrupts the live-event accounting.
+
+    Constructed as ``Event((time, seq, callback, args))`` — plain
+    C-level list initialization, no Python ``__init__`` frame on the
+    schedule path (this runs once per scheduled event).  The engine
+    sets ``_owner`` immediately after construction.
+    """
+
+    __slots__ = ("_owner",)
+
+    @property
+    def time(self) -> int:
+        return self[TIME]
+
+    @property
+    def seq(self) -> int:
+        return self[SEQ]
+
+    @property
+    def callback(self) -> Optional[Callable[..., None]]:
+        return self[CALLBACK]
+
+    @property
+    def args(self) -> Tuple:
+        return self[ARGS]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[CALLBACK] is None
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
-        self.cancelled = True
-        owner, self._owner = self._owner, None
+        self[CALLBACK] = None
+        owner = getattr(self, "_owner", None)
+        self._owner = None
         if owner is not None:
             owner._note_cancel()
 
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time} seq={self.seq}{state}>"
+        return f"<Event t={self[TIME]} seq={self[SEQ]}{state}>"

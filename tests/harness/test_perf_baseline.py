@@ -1,0 +1,90 @@
+"""Baseline selection for ``repro perf --check``.
+
+A throughput comparison is only meaningful against an entry that
+measured the same thing: same mode, same trace length, same
+(workload, system) matrix.  These tests pin the selection rules and
+the graceful "no baseline" degradation for empty or malformed
+trajectories.
+"""
+
+from __future__ import annotations
+
+from repro.perf import _matrix_shape, find_baseline, load_trajectory
+
+
+def _entry(mode: str, ops: int, cells, rate: int = 1000, label: str = "e"):
+    return {
+        "label": label,
+        "mode": mode,
+        "ops": ops,
+        "cells": [{"workload": w, "system": s} for w, s in cells],
+        "totals": {"events_per_sec": rate},
+    }
+
+
+FULL = [(w, s) for w in ("random", "streaming") for s in ("shadow", "thynvm")]
+PARTIAL = [("random", "shadow")]
+
+
+def test_empty_trajectory_yields_no_baseline():
+    assert find_baseline({"entries": []}, mode="full") is None
+    assert find_baseline({}, mode="full") is None
+
+
+def test_missing_file_yields_no_baseline(tmp_path):
+    trajectory = load_trajectory(tmp_path / "missing.json")
+    assert find_baseline(trajectory, mode="quick") is None
+
+
+def test_quick_never_compares_against_full():
+    trajectory = {"entries": [_entry("full", 12000, FULL, label="full-only")]}
+    assert find_baseline(trajectory, mode="quick") is None
+
+
+def test_full_never_compares_against_quick():
+    trajectory = {"entries": [_entry("quick", 3000, FULL, label="q")]}
+    assert find_baseline(trajectory, mode="full") is None
+
+
+def test_matching_mode_picks_most_recent():
+    trajectory = {"entries": [
+        _entry("quick", 3000, FULL, rate=10, label="old-quick"),
+        _entry("full", 12000, FULL, rate=20, label="full"),
+        _entry("quick", 3000, FULL, rate=30, label="new-quick"),
+    ]}
+    chosen = find_baseline(trajectory, mode="quick")
+    assert chosen["label"] == "new-quick"
+
+
+def test_ops_must_match_when_provided():
+    trajectory = {"entries": [
+        _entry("full", 12000, FULL, label="twelve-k"),
+        _entry("full", 6000, FULL, label="six-k"),
+    ]}
+    assert find_baseline(trajectory, mode="full", ops=12000)["label"] == \
+        "twelve-k"
+    assert find_baseline(trajectory, mode="full", ops=3000) is None
+
+
+def test_matrix_shape_must_match_when_provided():
+    full = _entry("full", 12000, FULL, label="full-matrix")
+    partial = _entry("full", 12000, PARTIAL, label="partial-matrix")
+    trajectory = {"entries": [full, partial]}
+    shape = _matrix_shape(full)
+    assert find_baseline(trajectory, mode="full", ops=12000,
+                         shape=shape)["label"] == "full-matrix"
+    assert find_baseline(
+        trajectory, mode="full", ops=12000,
+        shape=_matrix_shape(partial))["label"] == "partial-matrix"
+
+
+def test_malformed_entries_are_skipped():
+    trajectory = {"entries": [
+        "not-a-dict",
+        {"mode": "full", "ops": 12000},                 # no totals
+        {"mode": "full", "ops": 12000, "totals": {}},   # no rate
+        _entry("full", 12000, FULL, label="good"),
+    ]}
+    assert find_baseline(trajectory, mode="full")["label"] == "good"
+    assert _matrix_shape({"cells": "nope"}) is None
+    assert _matrix_shape({"cells": [{"workload": "w"}]}) is None

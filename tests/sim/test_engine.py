@@ -148,6 +148,42 @@ def test_cancel_after_fire_is_a_noop():
     assert engine.pending_events == 0
 
 
+def test_bounded_run_never_rewinds_the_clock():
+    # The time-skip fast path jumps the clock to `until`; a later run
+    # with an earlier bound must not rewind it, or schedule_at could
+    # admit events into the rewound window and fire them out of order.
+    engine = Engine()
+    engine.schedule(20, lambda: None)
+    engine.run(until=10)
+    assert engine.now == 10
+    engine.run(until=5)
+    assert engine.now == 10
+    with pytest.raises(SimulationError):
+        engine.schedule_at(7, lambda: None)
+    engine.run_until_idle()
+    assert engine.now == 20
+
+
+def test_time_skip_with_cancel_heavy_heap_keeps_invariants():
+    # Cancelling enough events to trigger compaction, then time-skipping
+    # past the dead region, must leave peek_time/now consistent so the
+    # schedule_at past-time check stays exact.
+    engine = Engine()
+    doomed = [engine.schedule(100 + i, lambda: None) for i in range(200)]
+    fired = []
+    engine.schedule(500, lambda: fired.append(engine.now))
+    for event in doomed:
+        event.cancel()
+    assert engine.peek_time() == 500
+    engine.run(until=400)          # pure time-skip: nothing fires
+    assert engine.now == 400
+    assert fired == []
+    engine.schedule_at(450, lambda: fired.append(engine.now))
+    engine.run_until_idle()
+    assert fired == [450, 500]
+    assert engine.now == 500
+
+
 def test_events_fired_counter():
     engine = Engine()
     for _ in range(4):
