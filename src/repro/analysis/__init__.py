@@ -16,7 +16,11 @@ An AST-based analyzer with three rule families, run as ``repro lint``:
   snapshots, no table mutation under an in-flight table persist
   (backed by the interprocedural effect graph in ``effects.py``);
 * **race** — same-cycle event handlers must not write the same
-  attribute unless explicitly sequenced (heap-insertion-order hazard).
+  attribute unless explicitly sequenced (heap-insertion-order hazard);
+* **typestate** — the bulk-run protocol: monotone, never-aliased
+  progress cursors (``completed <= serviced <= issued <= total``),
+  congruent parallel arrays, the tail-merge admission contract,
+  crashed-flag gating, and pinned ``USE_BULK_RUNS`` divergence sites.
 
 The static crash-consistency model checker (``repro verify``) lives in
 the :mod:`repro.analysis.verify` subpackage; it is intentionally *not*
@@ -27,6 +31,8 @@ See ``docs/ANALYSIS.md`` for the rule catalogue and suppression
 syntax, and ``docs/VERIFY.md`` for the model checker.
 """
 
+from .baseline import apply_baseline, finding_key, load_baseline, \
+    write_baseline
 from .context import ModuleContext, load_module
 from .effects import Effect, EffectGraph
 from .findings import Finding, Severity
@@ -53,8 +59,10 @@ __all__ = [
     "Severity",
     "ToolReport",
     "all_rules",
+    "apply_baseline",
     "build_index",
     "changed_files",
+    "finding_key",
     "dead_states",
     "extract_enum_members",
     "extract_transition_table",
@@ -65,6 +73,7 @@ __all__ = [
     "get_rule",
     "iter_python_files",
     "lint_tool_report",
+    "load_baseline",
     "load_module",
     "reachable",
     "register",
@@ -75,4 +84,5 @@ __all__ = [
     "render_rule_explain",
     "render_text",
     "run_analysis",
+    "write_baseline",
 ]

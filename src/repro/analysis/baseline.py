@@ -1,0 +1,112 @@
+"""Findings baseline: land new rule families warn-first.
+
+``repro lint --baseline lint-baseline.json`` compares a run's findings
+against a recorded snapshot: baselined findings are dropped from the
+report (and from exit-code accounting) while *new* findings still
+fail.  ``--update-baseline`` rewrites the snapshot from the current
+run.  This lets a stricter rule family ship before every pre-existing
+hit is fixed, without path-glob suppressions in
+:class:`~repro.analysis.runner.LintConfig` (which silence *future*
+findings too — a baseline only ever grandfathers diagnostics that
+existed when it was written).
+
+Entries are keyed exactly like the canonical report-time sort —
+``(path, line, col, rule, message)`` — so a baseline pins concrete
+diagnostics, not locations or rules in the abstract.  Matching is
+multiset-aware: two identical findings need two baseline entries, and
+entries that no longer match anything are reported as *stale* so the
+snapshot can be refreshed rather than rot.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Counter as CounterType
+from typing import List, Sequence, Tuple
+
+from .findings import Finding
+
+#: Bumped when the snapshot schema changes shape.
+BASELINE_VERSION = 1
+
+#: One baseline entry == one canonical finding key.
+Key = Tuple[str, int, int, str, str]
+
+_FIELDS = ("path", "line", "col", "rule", "message")
+
+
+def finding_key(finding: Finding) -> Key:
+    """The canonical identity of a finding (matches the report sort)."""
+    return (*finding.sort_key(), finding.message)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Snapshot ``findings`` to ``path`` in canonical order."""
+    entries = [{
+        "path": f.path,
+        "line": f.line,
+        "col": f.col,
+        "rule": f.rule,
+        "message": f.message,
+        # Informational only — matching ignores severity so a finding
+        # promoted from warning to error resurfaces as itself, not new.
+        "severity": f.severity.value,
+    } for f in sorted(findings, key=finding_key)]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_baseline(path: Path) -> "CounterType[Key]":
+    """Load a snapshot as a multiset of finding keys.
+
+    Raises :class:`FileNotFoundError` when the file is absent and
+    :class:`ValueError` when it is not a baseline this version reads.
+    """
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ValueError("top level is not an object")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline version "
+                         f"{payload.get('version')!r} "
+                         f"(expected {BASELINE_VERSION})")
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError("'findings' is not a list")
+    keys: "CounterType[Key]" = Counter()
+    for index, entry in enumerate(entries):
+        if not isinstance(entry, dict) or not all(
+                field in entry for field in _FIELDS):
+            raise ValueError(f"entry {index} is missing one of {_FIELDS}")
+        keys[(str(entry["path"]), int(entry["line"]), int(entry["col"]),
+              str(entry["rule"]), str(entry["message"]))] += 1
+    return keys
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: "CounterType[Key]",
+                   ) -> Tuple[List[Finding], int, int]:
+    """Split ``findings`` against ``baseline``.
+
+    Returns ``(kept, baselined, stale)``: the findings that survive
+    (i.e. are *new* relative to the snapshot), how many were matched
+    and dropped, and how many baseline entries matched nothing — a
+    stale count > 0 means fixed findings are still grandfathered and
+    the snapshot should be refreshed with ``--update-baseline``.
+    """
+    remaining = Counter(baseline)
+    kept: List[Finding] = []
+    baselined = 0
+    for finding in findings:
+        key = finding_key(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            baselined += 1
+        else:
+            kept.append(finding)
+    stale = sum(remaining.values())
+    return kept, baselined, stale

@@ -44,11 +44,29 @@ Classification table (by callee terminal name):
 ``btt.insert`` etc.       ``TABLE_MUTATE`` (structural vs bookkeeping)
 ``engine.schedule[_at]``  ``SCHEDULE``
 ``self.committed_meta =`` ``COMMIT`` (outside ``__init__``)
+``submit_bulk`` /         ``BULK_WRITE`` — one batched run of blocks
+``bulk_admit_next`` /       entering a device queue; ``VOLATILE_WRITE``
+``_issue_bulk_write_traffic``  when the kind is literally DRAM
+``grow_bulk`` /           ``BULK_WRITE`` — queue-side admission of one
+``try_enqueue_bulk``        more block of a run (tail-merge path)
 ========================  ==========================================
 
 Raw ``memctrl.submit`` is intentionally *not* classified: the commit
 record itself is written through it after the fence, and modelling it
-as a data write would make every commit look self-racing.
+as a data write would make every commit look self-racing.  The bulk
+surface *is* classified, conservatively: a bulk submission whose device
+kind is not literally DRAM counts as durable even when the run is a
+read (reads and writes share ``submit_bulk``/``bulk_admit_next``), in
+the same over-approximating direction as an unknown device kind.
+``BULK_WRITE`` events carry the run extent expression in their detail
+(``submit_bulk[request.total]`` style) so downstream consumers — the
+fuzz site taxonomy and the verify machines — can anchor per-block
+crash sites inside a run.
+
+Both sides of every ``USE_BULK_RUNS`` branch are analyzed: events
+under the bulk-only arm are tagged ``mode="bulk"`` and events under
+the reference arm ``mode="reference"``, so the analysis never depends
+on which core the ``REPRO_REFERENCE_CORE`` environment selects.
 """
 
 from __future__ import annotations
@@ -75,6 +93,27 @@ _KIND_KEYWORDS: Dict[str, str] = {
     "_issue_copy": "dst_kind",
 }
 _PLAIN_WRITERS = frozenset({"write_block", "flush_dirty"})
+# Bulk-run surface (PR 8's batched array-core).  Kind-aware names take
+# the device-kind argument at position 0 / keyword "kind"; the run
+# extent argument (total block count) feeds the event detail.
+_BULK_KIND_WRITERS: Dict[str, int] = {
+    "submit_bulk": 0,
+    "bulk_admit_next": 0,
+    "_issue_bulk_write_traffic": 0,
+}
+_BULK_EXTENT_ARGS: Dict[str, Tuple[int, str]] = {
+    "submit_bulk": (1, "request"),
+    "bulk_admit_next": (1, "request"),
+    "_issue_bulk_write_traffic": (3, "count"),
+    "grow_bulk": (0, "request"),
+    "try_enqueue_bulk": (0, "request"),
+}
+# Queue-side admission of run blocks: device kind unknown at this
+# level, so always conservatively durable.
+_BULK_ADMITTERS = frozenset({"grow_bulk", "try_enqueue_bulk"})
+#: The module-level flag gating the batched core vs the reference core
+#: (``repro/baselines/shadow.py``); both branch arms are analyzed.
+MODE_FLAG = "USE_BULK_RUNS"
 _TABLE_PERSISTERS = frozenset({"_table_persist_jobs"})
 _FENCES = frozenset({"fence_writes", "when_writes_drained",
                      "persist_barrier"})
@@ -90,6 +129,7 @@ class Effect(enum.Enum):
 
     DATA_WRITE = "data-write"          # durable (NVM or unknown) write
     VOLATILE_WRITE = "volatile-write"  # literal DeviceKind.DRAM write
+    BULK_WRITE = "bulk-write"          # batched run of durable writes
     TABLE_PERSIST = "table-persist"    # BTT/PTT persist job issue
     TABLE_MUTATE = "table-mutate"      # in-DRAM BTT/PTT mutation
     COMMIT = "commit"                  # committed_meta assignment
@@ -115,6 +155,7 @@ class Event:
     node: ast.AST
     effect: Optional[Effect] = None
     detail: str = ""            # mutator name for TABLE_MUTATE, etc.
+    mode: str = ""              # "bulk"/"reference" under USE_BULK_RUNS
     callee: Optional[str] = None       # terminal name of the called func
     bare_call: bool = False            # func was a bare Name (ctor cand.)
     via_self: bool = False             # call receiver is `self`
@@ -193,6 +234,28 @@ def _is_literal(node: Optional[ast.AST], value: object) -> bool:
     return isinstance(node, ast.Constant) and node.value is value
 
 
+def _mode_flag(test: ast.AST) -> Optional[str]:
+    """Mode selected by an ``if USE_BULK_RUNS`` test (None: not one)."""
+    if _terminal_name(test) == MODE_FLAG:
+        return "bulk"
+    if (isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+            and _terminal_name(test.operand) == MODE_FLAG):
+        return "reference"
+    return None
+
+
+def _bulk_extent(call: ast.Call, name: str) -> str:
+    """Source text of the run-extent argument, "" when unavailable."""
+    position, keyword = _BULK_EXTENT_ARGS[name]
+    arg = _call_argument(call, position, keyword)
+    if arg is None:
+        return ""
+    try:
+        return ast.unparse(arg)
+    except Exception:                    # pragma: no cover - defensive
+        return ""
+
+
 def classify_call(call: ast.Call) -> Tuple[Optional[Effect], str]:
     """(effect, detail) for one call site; (None, "") when unclassified."""
     name = _terminal_name(call.func)
@@ -207,6 +270,17 @@ def classify_call(call: ast.Call) -> Tuple[Optional[Effect], str]:
         if _device_kind(kind) == "DRAM":
             return Effect.VOLATILE_WRITE, name
         return Effect.DATA_WRITE, name   # NVM or unknown: durable
+    if name in _BULK_KIND_WRITERS:
+        kind = _call_argument(call, _BULK_KIND_WRITERS[name], "kind")
+        extent = _bulk_extent(call, name)
+        detail = f"{name}[{extent}]" if extent else name
+        if _device_kind(kind) == "DRAM":
+            return Effect.VOLATILE_WRITE, detail
+        return Effect.BULK_WRITE, detail  # NVM or unknown: durable
+    if name in _BULK_ADMITTERS:
+        extent = _bulk_extent(call, name)
+        detail = f"{name}[{extent}]" if extent else name
+        return Effect.BULK_WRITE, detail
     if name in _PLAIN_WRITERS:
         return Effect.DATA_WRITE, name
     if name in _TABLE_PERSISTERS:
@@ -238,18 +312,20 @@ class _ModuleExtractor:
         return f"{self.module.relpath}::{'.'.join(scope)}"
 
     def _collect(self, node: ast.AST, scope: Tuple[str, ...],
-                 cls: Optional[str], current: Optional[FunctionInfo]) -> None:
+                 cls: Optional[str], current: Optional[FunctionInfo],
+                 mode: str = "") -> None:
         for child in ast.iter_child_nodes(node):
             if isinstance(child, ast.ClassDef):
                 self._register_class(child)
-                self._collect(child, scope + (child.name,), child.name, None)
+                self._collect(child, scope + (child.name,), child.name, None,
+                              mode)
             elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 inner = scope + (child.name,)
                 info = FunctionInfo(qualname=self._qual(inner),
                                     name=child.name, module=self.module.relpath,
                                     class_name=cls, node=child)
                 self.functions.append(info)
-                self._collect(child, inner, cls, info)
+                self._collect(child, inner, cls, info, mode)
             elif isinstance(child, ast.Lambda):
                 marker = f"<lambda:{child.lineno}:{child.col_offset}>"
                 inner = scope + (marker,)
@@ -257,18 +333,33 @@ class _ModuleExtractor:
                                     module=self.module.relpath,
                                     class_name=cls, node=child)
                 self.functions.append(info)
-                self._collect(child, inner, cls, info)
+                self._collect(child, inner, cls, info, mode)
+            elif (isinstance(child, ast.If)
+                    and _mode_flag(child.test) is not None):
+                # A USE_BULK_RUNS branch: analyze *both* arms, tagging
+                # each with the core mode that reaches it, instead of
+                # whichever mode the environment happens to select.
+                flag = _mode_flag(child.test) or ""
+                other = "reference" if flag == "bulk" else "bulk"
+                for stmt in child.body:
+                    if current is not None:
+                        self._record(stmt, scope, current, flag)
+                    self._collect(stmt, scope, cls, current, flag)
+                for stmt in child.orelse:
+                    if current is not None:
+                        self._record(stmt, scope, current, other)
+                    self._collect(stmt, scope, cls, current, other)
             else:
                 if current is not None:
-                    self._record(child, scope, current)
-                self._collect(child, scope, cls, current)
+                    self._record(child, scope, current, mode)
+                self._collect(child, scope, cls, current, mode)
 
     # -- recording one statement/expression inside `current` -------------
 
     def _record(self, node: ast.AST, scope: Tuple[str, ...],
-                current: FunctionInfo) -> None:
+                current: FunctionInfo, mode: str = "") -> None:
         if isinstance(node, ast.Call):
-            current.events.append(self._call_event(node, scope))
+            current.events.append(self._call_event(node, scope, mode))
             mutator = _terminal_name(node.func)
             if (mutator in _TABLE_MUTATORS
                     and isinstance(node.func, ast.Attribute)
@@ -278,13 +369,13 @@ class _ModuleExtractor:
             targets = (node.targets if isinstance(node, ast.Assign)
                        else [node.target])
             for target in targets:
-                self._record_store(target, node, current)
+                self._record_store(target, node, current, mode)
 
     def _record_store(self, target: ast.AST, stmt: ast.AST,
-                      current: FunctionInfo) -> None:
+                      current: FunctionInfo, mode: str = "") -> None:
         if isinstance(target, (ast.Tuple, ast.List)):
             for element in target.elts:
-                self._record_store(element, stmt, current)
+                self._record_store(element, stmt, current, mode)
             return
         if isinstance(target, ast.Subscript):
             attr = self._self_attr(target.value)
@@ -299,7 +390,7 @@ class _ModuleExtractor:
         current.written_attrs.add(attr)
         if attr == COMMIT_ATTRIBUTE and current.name != "__init__":
             current.events.append(Event(node=stmt, effect=Effect.COMMIT,
-                                        detail=attr))
+                                        detail=attr, mode=mode))
 
     @staticmethod
     def _self_attr(node: ast.AST) -> Optional[str]:
@@ -310,7 +401,8 @@ class _ModuleExtractor:
             return node.attr
         return None
 
-    def _call_event(self, call: ast.Call, scope: Tuple[str, ...]) -> Event:
+    def _call_event(self, call: ast.Call, scope: Tuple[str, ...],
+                    mode: str = "") -> Event:
         effect, detail = classify_call(call)
         func = call.func
         callee = _terminal_name(func)
@@ -328,9 +420,9 @@ class _ModuleExtractor:
             ref = self._callback_ref(kw.value, scope, keyword=kw.arg)
             if ref is not None:
                 refs.append(ref)
-        return Event(node=call, effect=effect, detail=detail, callee=callee,
-                     bare_call=isinstance(func, ast.Name), via_self=via_self,
-                     callback_refs=tuple(refs))
+        return Event(node=call, effect=effect, detail=detail, mode=mode,
+                     callee=callee, bare_call=isinstance(func, ast.Name),
+                     via_self=via_self, callback_refs=tuple(refs))
 
     def _callback_ref(self, arg: ast.AST, scope: Tuple[str, ...],
                       position: Optional[int] = None,
@@ -559,7 +651,8 @@ class EffectGraph:
         for event in info.events:
             if on_event is not None:
                 on_event(event, state)
-            if event.effect in (Effect.DATA_WRITE, Effect.TABLE_PERSIST):
+            if event.effect in (Effect.DATA_WRITE, Effect.BULK_WRITE,
+                                Effect.TABLE_PERSIST):
                 state = True
             elif event.effect is None:
                 for callee in event.callees:
@@ -573,7 +666,8 @@ class EffectGraph:
         """Entry state handed to ``event``'s deferred callbacks."""
         if event.effect == Effect.FENCE:
             return False                 # fires only after the drain
-        if event.effect in (Effect.DATA_WRITE, Effect.TABLE_PERSIST):
+        if event.effect in (Effect.DATA_WRITE, Effect.BULK_WRITE,
+                            Effect.TABLE_PERSIST):
             return True
         return state_before
 
@@ -683,7 +777,8 @@ class EffectGraph:
             info = self.functions[qualname]
             transfer = self._transfer[qualname]
             effects = ",".join(
-                f"{event.effect.value}@{event.line}"
+                f"{event.effect.value}"
+                f"{f'({event.mode})' if event.mode else ''}@{event.line}"
                 for event in info.events if event.effect is not None)
             edges = ",".join(sorted(self._edges.get(qualname, ())))
             footprint = ",".join(f"{c}.{a}" for c, a

@@ -7,6 +7,7 @@ subclass with :func:`~repro.analysis.registry.register` in the family
 module.
 """
 
-from . import api, determinism, persist, protocol, races
+from . import api, determinism, persist, protocol, races, typestate
 
-__all__ = ["api", "determinism", "persist", "protocol", "races"]
+__all__ = ["api", "determinism", "persist", "protocol", "races",
+           "typestate"]

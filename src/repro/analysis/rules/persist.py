@@ -95,7 +95,8 @@ class UnfencedCommitRule(Rule):
             hits: List[Tuple[Event, Optional[Event]]] = []
 
             def observe(event: Event, state: bool) -> None:
-                if event.effect in (Effect.DATA_WRITE, Effect.TABLE_PERSIST):
+                if event.effect in (Effect.DATA_WRITE, Effect.BULK_WRITE,
+                                    Effect.TABLE_PERSIST):
                     last_write[0] = event
                 elif event.effect is Effect.COMMIT and state:
                     hits.append((event, last_write[0]))

@@ -74,7 +74,11 @@ class TornRecoveryCheck(Rule):
         "durable log over it (journaling after the log persists). The "
         "abstract machine found a torn crash state where neither holds "
         "— recovery's committed reference resolves to the torn cell "
-        "with no durable log covering the epoch.")
+        "with no durable log covering the epoch. Bulk-run stages are "
+        "explored the same way: a dedicated bulk-write step models a "
+        "crash with only a prefix of a run's blocks durable, so a "
+        "counterexample can land mid-run (site kind `bulk-write`, "
+        "detail = stage index).")
     example_bad = (
         "stages = [inplace_stage, log_stage]  # home torn before log\n")
     example_good = (

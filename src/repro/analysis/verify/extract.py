@@ -22,7 +22,11 @@ fact the extraction cannot pin down.  The facts are:
 * the shadow baseline's flush target (complement of the committed
   region);
 * whether the stop-the-world base class prepends a CPU-state stage
-  (it shifts every runtime ``stage-done`` index by one).
+  (it shifts every runtime ``stage-done`` index by one);
+* the bounded queue's bulk in-order service discipline — a run's
+  ``serviced`` cursor must advance monotonically (``+= 1``) off a FIFO
+  ``pending.popleft()``; anything else means a fence can report a run
+  drained while a straggler block is still in flight.
 
 Every fact carries a source anchor so counterexamples and extraction
 warnings point at the responsible line.  Extraction never imports the
@@ -52,6 +56,7 @@ PROTOCOL_FILES = (
     "baselines/base.py",
     "baselines/journaling.py",
     "baselines/shadow.py",
+    "sim/queueing.py",
 )
 
 
@@ -121,6 +126,11 @@ class ProtocolFacts:
     journal_capture_stage: Optional[int] = None   # runtime stage index
     shadow_flush: Optional[RegionChoice] = None
     cpu_stage_prepended: bool = True
+    # Bulk runs: True when the queue's serviced cursor provably advances
+    # one block at a time in FIFO order (so the fence accounting's
+    # in-flight window is exact and no run block can outlive the fence).
+    bulk_inorder: bool = False
+    bulk_inorder_anchor: Optional[Anchor] = None
 
 
 def _relpath(path: Path, root: Path) -> str:
@@ -489,6 +499,55 @@ def _extract_shadow(facts: ProtocolFacts, tree: ast.Module) -> None:
                                           Anchor(path, func.lineno))
 
 
+def _extract_bulk_inorder(facts: ProtocolFacts, tree: ast.Module) -> None:
+    """Certify the bulk run service discipline of the bounded queue.
+
+    ``_service_head_block`` must advance the run's ``serviced`` cursor
+    monotonically (an ``+= 1`` AugAssign, never an aliasing assignment
+    from another cursor) and take the serviced block from the FIFO
+    ``pending.popleft()``.  When the discipline cannot be certified the
+    shadow machine explores a *straggler world*: the pre-commit fence
+    reports the flush run drained while one of its blocks is still in
+    flight, so the block's image only completes after the commit record
+    — every crash in between recovers from a torn destination.
+    """
+    path = "sim/queueing.py"
+    cls = _find_class(tree, "BoundedQueue")
+    func = _find_method(cls, "_service_head_block")
+    if func is None:
+        _warning(facts, path, 1,
+                 "_service_head_block not found; bulk in-order service "
+                 "cannot be certified — exploring a straggler world")
+        return
+    facts.bulk_inorder_anchor = Anchor(path, func.lineno)
+    popleft = any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "popleft"
+        and _mentions(node.func.value, ("pending",))
+        for node in ast.walk(func))
+    advance = False
+    aliased: Optional[ast.AST] = None
+    for node in ast.walk(func):
+        if (isinstance(node, ast.AugAssign)
+                and isinstance(node.target, ast.Attribute)
+                and node.target.attr == "serviced"):
+            advance = isinstance(node.op, ast.Add)
+        elif (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Attribute) and t.attr == "serviced"
+                        for t in node.targets)):
+            aliased = node
+    if popleft and advance and aliased is None:
+        facts.bulk_inorder = True
+        return
+    line = getattr(aliased, "lineno", func.lineno)
+    facts.bulk_inorder_anchor = Anchor(path, line)
+    _warning(facts, path, line,
+             "_service_head_block: bulk serviced cursor does not "
+             "provably advance one FIFO block at a time; exploring a "
+             "straggler world where a run block outlives the fence")
+
+
 def _extract_base(facts: ProtocolFacts, tree: ast.Module) -> None:
     path = "baselines/base.py"
     cls = _find_class(tree, "StopTheWorldController")
@@ -546,4 +605,6 @@ def extract_facts(root: Optional[Path] = None) -> ProtocolFacts:
         _extract_shadow(facts, trees["baselines/shadow.py"])
     if "baselines/base.py" in trees:
         _extract_base(facts, trees["baselines/base.py"])
+    if "sim/queueing.py" in trees:
+        _extract_bulk_inorder(facts, trees["sim/queueing.py"])
     return facts

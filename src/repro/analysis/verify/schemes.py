@@ -413,15 +413,38 @@ def _journal_traces(workload: str, epochs: int,
 def _shadow_traces(workload: str, epochs: int,
                    facts: ProtocolFacts) -> Iterator[TraceBuilder]:
     """Shadow paging: buffered writes flush to the complement of each
-    page's committed region; commit flips the page-map entry."""
-    for mode, why in _choice_modes(facts.shadow_flush,
-                                   safe="other-of-committed",
-                                   what="shadow flush destination"):
+    page's committed region; commit flips the page-map entry.
+
+    The flush stage runs as a *bulk run* (one read run + one write run
+    per dirty page, docs/PERFORMANCE.md), so the machine splits it in
+    two: a ``bulk-write`` step modelling a crash with only a prefix of
+    the run's blocks durable (the destination holds a torn image), then
+    the ``stage-done`` step that completes the image.  The runtime
+    probe fires once per durable block; the abstract step stands for
+    every mid-run prefix, which all leave the same torn destination."""
+    if facts.bulk_inorder:
+        straggler_worlds: List[Tuple[bool, str]] = [(False, "")]
+    else:
+        straggler_worlds = [
+            (False, "bulk service order unresolved; assuming in-order"),
+            (True, "bulk service order unresolved; assuming a straggler "
+                   "run block outlives the pre-commit fence"),
+        ]
+    worlds = [(mode, straggler, _join(choice_why, straggler_why))
+              for mode, choice_why in _choice_modes(
+                  facts.shadow_flush, safe="other-of-committed",
+                  what="shadow flush destination")
+              for straggler, straggler_why in straggler_worlds]
+    for mode, straggler, why in worlds:
         b = TraceBuilder("shadow", workload, why)
         committed_region = "B"      # page map defaults to region B
         anchor = ((facts.shadow_flush.anchor.path,
                    facts.shadow_flush.anchor.line)
                   if facts.shadow_flush is not None else None)
+        straggler_anchor = ((facts.bulk_inorder_anchor.path,
+                             facts.bulk_inorder_anchor.line)
+                            if facts.bulk_inorder_anchor is not None
+                            else anchor)
         for _ in range(epochs):
             epoch = b.epoch
             boundary = b.boundaries + 1
@@ -446,7 +469,21 @@ def _shadow_traces(workload: str, epochs: int,
             else:
                 stage_writes[0] = (("dat", dst, (IMG, epoch)),)
                 stages = 1
+            data_stage = stages - 1
+            if straggler:
+                # The fence will report the run drained while one block
+                # is still in flight: the stage completes with the
+                # destination image still torn.
+                stage_writes[data_stage] = (("dat", dst, (TORN, epoch)),)
             for stage in range(stages):
+                if stage == data_stage:
+                    # A prefix of the page-flush bulk run is durable:
+                    # the destination holds a torn image until the
+                    # stage's last block is serviced.
+                    b.step(f"boundary-{boundary}:bulk-block",
+                           emission=Emission("bulk-write", str(stage)),
+                           writes=(("dat", dst, (TORN, epoch)),),
+                           persist=True, anchor=anchor)
                 b.step(f"boundary-{boundary}:stage-{stage}",
                        emission=Emission("stage-done", str(stage)),
                        writes=stage_writes.get(stage, ()),
@@ -460,6 +497,15 @@ def _shadow_traces(workload: str, epochs: int,
                    persist=True)
             committed_region = dst
             _commit(b, boundary, {"dat": (committed_region, epoch)})
+            if straggler:
+                # The straggler block only lands after the commit
+                # record; every crash since the commit recovered from
+                # the torn destination the metadata now points at.
+                b.step(f"boundary-{boundary}:straggler-block",
+                       emission=Emission("bulk-write",
+                                         str(data_stage)),
+                       writes=(("dat", dst, (IMG, epoch)),),
+                       persist=True, anchor=straggler_anchor)
         yield b
 
 

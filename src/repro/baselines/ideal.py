@@ -89,6 +89,8 @@ class IdealController:
 
     def drain(self, on_done: Callable[[], None]) -> None:
         """Flush caches so the run's write traffic is fully accounted."""
+        if self._crashed:
+            raise CrashedError("drain on a crashed controller")
         if self.hierarchy is not None:
             self.hierarchy.flush_dirty(Origin.FLUSH, lambda _n: on_done())
         else:

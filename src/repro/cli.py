@@ -283,6 +283,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
     """`repro lint`: run the protocol-aware static analyzer."""
     from .analysis import (render_rule_catalogue, render_rule_explain,
                            run_analysis)
+    from .analysis.baseline import (apply_baseline, load_baseline,
+                                    write_baseline)
     from .analysis.cache import DEFAULT_LINT_CACHE_DIR
     from .analysis.report import lint_tool_report, render
     from .analysis.runner import changed_files
@@ -310,10 +312,40 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print("lint: --changed-only requires a git work tree",
                   file=sys.stderr)
             return 2
+    baseline_path = Path(args.baseline) if args.baseline else None
+    if args.update_baseline and baseline_path is None:
+        print("lint: --update-baseline requires --baseline FILE",
+              file=sys.stderr)
+        return 2
+    baseline = None
+    if baseline_path is not None and not args.update_baseline:
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError:
+            print(f"lint: baseline {baseline_path} does not exist "
+                  f"(record one with --update-baseline)", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"lint: bad baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
     cache_dir = None if args.no_cache else (args.cache_dir
                                             or DEFAULT_LINT_CACHE_DIR)
     report = run_analysis(paths, cache_dir=cache_dir,
                           restrict_to=restrict_to)
+    if baseline_path is not None and args.update_baseline:
+        write_baseline(baseline_path, report.findings)
+        print(f"lint: baselined {len(report.findings)} finding(s) "
+              f"-> {baseline_path}", file=sys.stderr)
+        return 0
+    if baseline is not None:
+        report.findings, baselined, stale = apply_baseline(
+            report.findings, baseline)
+        note = (f"lint baseline: {baselined} baselined, {stale} stale "
+                f"({baseline_path})")
+        if stale:
+            note += " — refresh with --update-baseline"
+        print(note, file=sys.stderr)
     output_format = "json" if args.json else args.format
     print(render(lint_tool_report(report), output_format))
     if cache_dir is not None:
@@ -566,6 +598,13 @@ def make_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument("--explain", metavar="RULE_ID", default=None,
                              help="print one rule's doc, rationale and "
                                   "examples, then exit")
+    lint_parser.add_argument("--baseline", metavar="FILE", default=None,
+                             help="findings snapshot: matched findings "
+                                  "drop out of the report and exit code, "
+                                  "new ones still fail (docs/ANALYSIS.md)")
+    lint_parser.add_argument("--update-baseline", action="store_true",
+                             help="rewrite --baseline FILE from this "
+                                  "run's findings and exit 0")
     lint_parser.add_argument("--cache-dir", default=None,
                              help="incremental lint cache directory "
                                   "(default .repro-cache/lint)")

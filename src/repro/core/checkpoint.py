@@ -208,6 +208,7 @@ class CheckpointRun:
         (this fires once per written block)."""
         if self._finished:
             return
+        probes.notify("bulk-write", str(self._stage_index))
         self._outstanding -= 1
         if not self._pending and self._outstanding == 0:
             self._next_stage()

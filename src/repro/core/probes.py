@@ -10,7 +10,9 @@ and arms the crash.
 When no observer is installed (every normal run, every benchmark) a
 probe is a module lookup, an ``is None`` test and a return — cheap
 enough to leave compiled in.  Probe sites fire at epoch-boundary rate,
-never per memory request.
+never per memory *request* — the one per-block kind, ``bulk-write``,
+fires once per durable block of a checkpoint's bulk runs, which is
+still bounded by the dirty footprint of the epoch.
 
 Site kinds (the crash-site taxonomy; see docs/FUZZING.md):
 
@@ -19,6 +21,8 @@ kind                      fired when
 ========================  ====================================================
 ``ckpt-start``            a checkpoint run begins issuing its staged jobs
 ``stage-done``            one checkpoint stage fully serviced (detail: index)
+``bulk-write``            one block of a checkpoint bulk run becomes durable
+                          (detail: stage index)
 ``table-persist``         a translation-table persist stage is planned
                           (detail: ``btt``/``ptt``/``log``/``pagemap``)
 ``fence``                 the pre-commit NVM fence is issued
@@ -40,7 +44,7 @@ _observer: Optional[Observer] = None
 
 #: Every site kind notify() may legally be called with.
 SITE_KINDS: Tuple[str, ...] = (
-    "ckpt-start", "stage-done", "table-persist", "fence",
+    "ckpt-start", "stage-done", "bulk-write", "table-persist", "fence",
     "commit-write", "commit", "aux-commit", "promote", "demote",
 )
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, cast
 
 from .. import diskcache
 from ..harness.parallel import DEFAULT_CACHE_DIR, code_version, fan_out
@@ -35,12 +35,23 @@ from .workloads import WORKLOAD_NAMES
 
 _CACHE_FORMAT = 1
 
-#: Census shape and plan-space bounds per mode.
+
+@dataclass(frozen=True)
+class CampaignMode:
+    """Census shape and plan-space bounds for one campaign mode."""
+
+    epochs: int
+    blocks: int
+    seed: int
+    occurrence_budget: int
+    jitters: Tuple[int, ...]
+
+
 _MODES = {
-    "quick": dict(epochs=2, blocks=16, seed=1,
-                  occurrence_budget=2, jitters=(0,)),
-    "full": dict(epochs=3, blocks=24, seed=1,
-                 occurrence_budget=3, jitters=(0, 60, 400, 2500)),
+    "quick": CampaignMode(epochs=2, blocks=16, seed=1,
+                          occurrence_budget=2, jitters=(0,)),
+    "full": CampaignMode(epochs=3, blocks=24, seed=1,
+                         occurrence_budget=3, jitters=(0, 60, 400, 2500)),
 }
 
 #: A census plan arms an occurrence that can never fire.
@@ -63,7 +74,7 @@ class CampaignOptions:
     minimize_attempts: int = 40     # re-runs budget per minimization
 
     @property
-    def mode(self) -> Dict[str, object]:
+    def mode(self) -> CampaignMode:
         return _MODES["quick" if self.quick else "full"]
 
 
@@ -97,8 +108,9 @@ def run_plans(plan_strings: Sequence[str], jobs: int = 1,
         entry = (diskcache.load_entry(cache, _cache_key(plan_string, version),
                                       _CACHE_FORMAT)
                  if cache is not None else None)
-        if entry is not None and isinstance(entry.get("result"), dict):
-            results[index] = entry["result"]
+        cached = entry.get("result") if entry is not None else None
+        if isinstance(cached, dict):
+            results[index] = cached
         else:
             misses.append(index)
 
@@ -142,10 +154,10 @@ def _occurrence_spread(count: int, budget: int) -> List[int]:
 
 
 def census_plan(system: str, workload: str,
-                mode: Dict[str, object]) -> CrashPlan:
+                mode: CampaignMode) -> CrashPlan:
     return CrashPlan(system=system, workload=workload,
-                     seed=int(mode["seed"]), epochs=int(mode["epochs"]),
-                     blocks=int(mode["blocks"]), site="ckpt-start",
+                     seed=mode.seed, epochs=mode.epochs,
+                     blocks=mode.blocks, site="ckpt-start",
                      occurrence=_CENSUS_OCCURRENCE)
 
 
@@ -153,21 +165,19 @@ def generate_plans(census_counts: Dict[Tuple[str, str], Dict[str, int]],
                    options: CampaignOptions) -> List[CrashPlan]:
     """The campaign's plan list, in deterministic generation order."""
     mode = options.mode
-    budget = int(mode["occurrence_budget"])
-    jitters = tuple(mode["jitters"])
     plans: List[CrashPlan] = []
     for system in options.systems:
         for workload in options.workloads:
             counts = census_counts.get((system, workload), {})
             for key in sorted(counts):
                 kind, _, detail = key.partition(".")
-                for occurrence in _occurrence_spread(counts[key], budget):
-                    for jitter in jitters:
+                for occurrence in _occurrence_spread(
+                        counts[key], mode.occurrence_budget):
+                    for jitter in mode.jitters:
                         plans.append(CrashPlan(
                             system=system, workload=workload,
-                            seed=int(mode["seed"]),
-                            epochs=int(mode["epochs"]),
-                            blocks=int(mode["blocks"]),
+                            seed=mode.seed, epochs=mode.epochs,
+                            blocks=mode.blocks,
                             site=kind, detail=detail,
                             occurrence=occurrence, jitter=jitter))
     return plans
@@ -198,8 +208,8 @@ def run_campaign(options: CampaignOptions,
          for system, workload in pairs],
         jobs=options.jobs, cache_dir=options.cache_dir,
         progress=progress, stage="census")
-    census_counts = {
-        pair: dict(result["site_counts"])
+    census_counts: Dict[Tuple[str, str], Dict[str, int]] = {
+        pair: dict(cast(Dict[str, int], result["site_counts"]))
         for pair, result in zip(pairs, census_results)}
 
     # 3. Enumerate and execute.
@@ -255,7 +265,8 @@ def run_campaign(options: CampaignOptions,
 
 def campaign_failed(report: Dict[str, object]) -> Tuple[bool, bool]:
     """(corpus_regressed, new_failures) — the CLI's exit-code inputs."""
-    corpus = report.get("corpus", {})
-    regressed = bool(corpus.get("regressions"))
+    corpus = report.get("corpus")
+    regressed = (bool(corpus.get("regressions"))
+                 if isinstance(corpus, dict) else False)
     fresh = bool(report.get("failures"))
     return regressed, fresh

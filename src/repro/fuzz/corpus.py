@@ -72,7 +72,7 @@ def load_corpus(corpus_dir: Path) -> List[Dict[str, object]]:
     corpus_dir = Path(corpus_dir)
     if not corpus_dir.is_dir():
         return []
-    entries = []
+    entries: List[Dict[str, object]] = []
     for path in sorted(corpus_dir.glob("*.json")):
         try:
             entry = json.loads(path.read_text(encoding="utf-8"))

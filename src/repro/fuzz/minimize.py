@@ -23,7 +23,7 @@ IsFailing = Callable[[CrashPlan], bool]
 
 def _shrink_int(value: int, floor: int) -> List[int]:
     """Candidate reductions for one integer field, biggest jump first."""
-    candidates = []
+    candidates: List[int] = []
     for nxt in (floor, (value + floor) // 2, value - 1):
         if floor <= nxt < value and nxt not in candidates:
             candidates.append(nxt)

@@ -22,7 +22,7 @@ the code version.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..baselines.journaling import JournalingController
 from ..baselines.shadow import ShadowPagingController
@@ -30,7 +30,7 @@ from ..baselines.single_granularity import (block_only_policy,
                                             page_only_policy)
 from ..config import SystemConfig, small_test_config
 from ..core import probes
-from ..core.controller import ThyNVMController
+from ..core.controller import ThyNVMController, ThyNVMPolicy
 from ..core.epoch import Phase
 from ..errors import CrashedError, ReproError, WorkloadError
 from ..mem.controller import MemoryController
@@ -43,7 +43,7 @@ from .workloads import build_schedule, observed_blocks
 #: Epoch timer parked far in the future: the workload drives boundaries.
 _MANUAL_EPOCHS = 10 ** 12
 
-_THYNVM_POLICIES = {
+_THYNVM_POLICIES: Dict[str, Callable[[], Optional[ThyNVMPolicy]]] = {
     "thynvm": lambda: None,
     "thynvm_block_only": block_only_policy,
     "thynvm_page_only": page_only_policy,
@@ -92,7 +92,7 @@ class CrashInjector:
     between device events, not inside a controller state update.
     """
 
-    def __init__(self, engine: Engine, controller,
+    def __init__(self, engine: Engine, controller: Any,
                  plan: Optional[CrashPlan]) -> None:
         self.engine = engine
         self.controller = controller
@@ -125,8 +125,9 @@ class CrashInjector:
 
 
 def _build_controller(system: str, engine: Engine, config: SystemConfig,
-                      stats: StatsCollector):
+                      stats: StatsCollector) -> Any:
     memctrl = MemoryController(engine, config, stats)
+    controller: Any
     if system in _THYNVM_POLICIES:
         policy = _THYNVM_POLICIES[system]()
         controller = ThyNVMController(engine, config, memctrl, stats, policy)
@@ -141,7 +142,7 @@ def _build_controller(system: str, engine: Engine, config: SystemConfig,
     return controller
 
 
-def _advance(engine: Engine, controller, cond: Callable[[], bool],
+def _advance(engine: Engine, controller: Any, cond: Callable[[], bool],
              limit: int = 500_000_000) -> None:
     """Run until ``cond()``, the controller crashes, or events run dry."""
     start = engine.now
@@ -154,8 +155,9 @@ def _advance(engine: Engine, controller, cond: Callable[[], bool],
                                 f"(stuck {limit} cycles)")
 
 
-def _settle_writes(engine: Engine, controller, stats: StatsCollector,
-                   chunk: int = 20_000, rounds: int = 200) -> None:
+def _settle_writes(engine: Engine, controller: Any,
+                   stats: StatsCollector, chunk: int = 20_000,
+                   rounds: int = 200) -> None:
     """Advance until issued demand traffic is fully serviced.
 
     Direct driving has no stalled CPU or cache flush at the boundary, so
@@ -165,7 +167,7 @@ def _settle_writes(engine: Engine, controller, stats: StatsCollector,
     Quiescence is judged purely on simulated state, so it is exactly as
     deterministic as the rest of the run.
     """
-    previous = None
+    previous: Optional[Tuple[int, int, int, int, int]] = None
     for _ in range(rounds):
         if controller.crashed:
             return
@@ -178,29 +180,30 @@ def _settle_writes(engine: Engine, controller, stats: StatsCollector,
         engine.run(until=engine.now + chunk)
 
 
-def _ready_for_boundary(system: str, controller) -> Callable[[], bool]:
+def _ready_for_boundary(system: str,
+                        controller: Any) -> Callable[[], bool]:
     if system in _THYNVM_POLICIES:
         return lambda: controller.epochs.phase is Phase.EXECUTING
     return lambda: not controller._in_checkpoint
 
 
-def _committed_past(system: str, controller,
+def _committed_past(system: str, controller: Any,
                     epoch: int) -> Callable[[], bool]:
     if system in _THYNVM_POLICIES:
         return lambda: controller.committed_meta.epoch >= epoch
     return lambda: controller.epoch > epoch
 
 
-def _recovered_image(system: str, controller,
-                     blocks: List[int]) -> Dict[str, object]:
+def _recovered_image(system: str, controller: Any, blocks: List[int],
+                     ) -> Tuple[Optional[int], Dict[int, bytes]]:
     """Post-crash image over the observed blocks, plus the recovered
     epoch where the system reports one (ThyNVM variants)."""
     if system in _THYNVM_POLICIES:
         recovered = controller.recover()
         image = {block: recovered.visible_block(block) for block in blocks}
-        return {"epoch": recovered.epoch, "image": image}
+        return recovered.epoch, image
     image = {block: controller.recovered_block(block) for block in blocks}
-    return {"epoch": None, "image": image}
+    return None, image
 
 
 def run_plan(plan: CrashPlan,
@@ -223,7 +226,7 @@ def run_plan(plan: CrashPlan,
     # epoch is recoverable by replay, before the commit record lands.
     # The image pending at the last forced boundary is therefore also a
     # legal recovery point for "journal" (and only for it).
-    pending: Optional[Dict[str, object]] = None
+    pending: Optional[Tuple[int, Dict[int, bytes]]] = None
 
     previous = probes.set_observer(injector.observe)
     try:
@@ -245,7 +248,7 @@ def run_plan(plan: CrashPlan,
                      _ready_for_boundary(plan.system, controller))
             if controller.crashed:
                 break
-            pending = {"epoch": epoch, "image": dict(shadow)}
+            pending = (epoch, dict(shadow))
             try:
                 controller.force_epoch_end("fuzz")
             except CrashedError:
@@ -278,28 +281,28 @@ def run_plan(plan: CrashPlan,
         return result
 
     try:
-        recovered = _recovered_image(plan.system, controller, blocks)
+        recovered_epoch, image = _recovered_image(plan.system, controller,
+                                                  blocks)
     except ReproError as error:
         result.outcome = "fail"
         result.detail = f"recovery raised {type(error).__name__}: {error}"
         return result
 
-    result.recovered_epoch = recovered["epoch"]
-    image = recovered["image"]
-    if recovered["epoch"] is not None:
-        if recovered["epoch"] not in goldens:
+    result.recovered_epoch = recovered_epoch
+    if recovered_epoch is not None:
+        if recovered_epoch not in goldens:
             result.outcome = "fail"
-            result.detail = (f"recovered to epoch {recovered['epoch']}, "
+            result.detail = (f"recovered to epoch {recovered_epoch}, "
                             f"which never committed "
                             f"(committed: {sorted(goldens)})")
             return result
-        golden = goldens[recovered["epoch"]]
+        golden = goldens[recovered_epoch]
         for block in blocks:
             expected = golden.get(block, empty)
             if image[block] != expected:
                 result.outcome = "fail"
                 result.detail = (f"block {block} mismatch after recovery "
-                                 f"to epoch {recovered['epoch']}")
+                                 f"to epoch {recovered_epoch}")
                 return result
         return result
 
@@ -307,7 +310,7 @@ def run_plan(plan: CrashPlan,
     candidates = [(epoch, goldens[epoch])
                   for epoch in sorted(goldens, reverse=True)]
     if plan.system == "journal" and pending is not None:
-        candidates.insert(0, (pending["epoch"], pending["image"]))
+        candidates.insert(0, pending)
     for epoch, golden in candidates:
         if all(image[block] == golden.get(block, empty)
                for block in blocks):

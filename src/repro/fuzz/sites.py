@@ -21,7 +21,7 @@ fires for a given system×workload — is :func:`repro.fuzz.runner.census`.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..analysis.context import ModuleContext, load_module
 from ..analysis.effects import Effect, EffectGraph
@@ -31,6 +31,7 @@ PROTOCOL_PACKAGES = ("core", "baselines")
 
 #: Which probe kinds cover which statically-classified effect.
 KIND_EFFECTS: Dict[str, Tuple[Effect, ...]] = {
+    "bulk-write": (Effect.BULK_WRITE,),
     "table-persist": (Effect.TABLE_PERSIST,),
     "fence": (Effect.FENCE,),
     "commit-write": (Effect.COMMIT,),
@@ -46,6 +47,8 @@ KIND_EFFECTS: Dict[str, Tuple[Effect, ...]] = {
 KIND_DESCRIPTIONS: Dict[str, str] = {
     "ckpt-start": "a checkpoint run begins issuing its staged jobs",
     "stage-done": "one checkpoint stage is fully serviced (detail: index)",
+    "bulk-write": "one block of a checkpoint bulk run becomes durable "
+                  "(detail: stage index)",
     "table-persist": "a translation-table/log persist stage is planned "
                      "(detail: btt/ptt/log/pagemap)",
     "fence": "the pre-commit NVM write-queue fence is issued",
@@ -56,12 +59,13 @@ KIND_DESCRIPTIONS: Dict[str, str] = {
     "demote": "a page demotion starts (detail: page)",
 }
 
-_SURFACE_EFFECTS = (Effect.TABLE_PERSIST, Effect.FENCE, Effect.COMMIT)
+_SURFACE_EFFECTS = (Effect.BULK_WRITE, Effect.TABLE_PERSIST, Effect.FENCE,
+                    Effect.COMMIT)
 
 
 def _protocol_modules() -> List[ModuleContext]:
     package_root = Path(__file__).resolve().parent.parent
-    modules = []
+    modules: List[ModuleContext] = []
     for package in PROTOCOL_PACKAGES:
         for path in sorted((package_root / package).glob("*.py")):
             modules.append(load_module(path))
@@ -117,7 +121,7 @@ def coverage_gaps() -> Dict[str, List[str]]:
     :class:`~repro.fuzz.plan.CrashPlan` the replayer would reject —
     the two crash surfaces have drifted apart.
     """
-    covered = set()
+    covered: Set[str] = set()
     for effects in KIND_EFFECTS.values():
         covered.update(effect.value for effect in effects)
     surface = effect_surface()

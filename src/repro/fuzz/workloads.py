@@ -24,7 +24,7 @@ sites remain reachable explicitly via the ``aux-commit`` site kind.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple
+from typing import List, Set, Tuple
 
 from ..config import SystemConfig
 from ..errors import WorkloadError
@@ -48,7 +48,7 @@ def _payload(seed: int, epoch: int, index: int, block: int,
 def _universe(blocks: int, per_page: int) -> List[int]:
     """The working set: ``blocks`` block numbers striped over a few
     pages (never filling any page, so no accidental promotions)."""
-    universe = []
+    universe: List[int] = []
     for index in range(blocks):
         page = index % _SPREAD_PAGES
         offset = index // _SPREAD_PAGES
@@ -87,7 +87,7 @@ def build_schedule(name: str, seed: int, epochs: int, blocks: int,
 
 def observed_blocks(schedule: Schedule) -> List[int]:
     """Every block the oracle must compare after recovery (sorted)."""
-    seen = set()
+    seen: Set[int] = set()
     for writes in schedule:
         for block, _payload_bytes in writes:
             seen.add(block)

@@ -574,6 +574,16 @@ class MemoryController:
             state.read_counts[request.origin_key] += 1
             state.record_read_latency(latency)
             request.completed += 1
+        if request.completed > request.serviced:
+            # Typestate: 0 <= completed <= serviced <= issued <= total.
+            # A completion overtaking the service frontier means the
+            # queue advanced `serviced` non-monotonically, and the fence
+            # accounting (`queued + serviced - completed`) undercounts
+            # in-flight blocks — a commit could outrun this run's data.
+            raise SimulationError(
+                f"bulk run service order violated: completed cursor "
+                f"{request.completed} overtook serviced "
+                f"{request.serviced} for {request!r}")
         callback = request.callback
         if callback is not None:
             callback(request, index, payload)

@@ -1,0 +1,150 @@
+"""`repro lint --baseline`: grandfather a findings snapshot.
+
+The baseline keys entries exactly like the canonical report sort
+``(path, line, col, rule, message)``, matches as a multiset, drops
+matched findings from the report and exit code, and keeps *new*
+findings failing — so a stricter rule family can land warn-first
+without path-glob suppressions.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import run_analysis
+from repro.analysis.baseline import (apply_baseline, finding_key,
+                                     load_baseline, write_baseline)
+from repro.analysis.findings import Finding, Severity
+from repro.cli import main
+
+BAD_CLOCK = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def _finding(path="repro/core/x.py", line=4, col=11, rule="det-wallclock",
+             message="wall clock", severity=Severity.ERROR):
+    return Finding(rule=rule, severity=severity, path=path, line=line,
+                   col=col, message=message)
+
+
+def test_roundtrip_and_multiset_matching(tmp_path):
+    twice = _finding()
+    other = _finding(line=9, message="other site")
+    snapshot = tmp_path / "baseline.json"
+    write_baseline(snapshot, [twice, twice, other])
+    baseline = load_baseline(snapshot)
+    assert baseline[finding_key(twice)] == 2
+    # Three occurrences against two baselined: exactly one survives.
+    kept, baselined, stale = apply_baseline([twice, twice, twice],
+                                            baseline)
+    assert kept == [twice]
+    assert baselined == 2
+    assert stale == 1                    # `other` matched nothing
+
+
+def test_severity_change_does_not_resurface_a_finding(tmp_path):
+    warned = _finding(severity=Severity.WARNING)
+    snapshot = tmp_path / "baseline.json"
+    write_baseline(snapshot, [warned])
+    promoted = _finding(severity=Severity.ERROR)
+    kept, baselined, stale = apply_baseline([promoted],
+                                            load_baseline(snapshot))
+    assert kept == [] and baselined == 1 and stale == 0
+
+
+@pytest.mark.parametrize("payload", [
+    "not json {",
+    json.dumps([1, 2]),
+    json.dumps({"version": 99, "findings": []}),
+    json.dumps({"version": 1, "findings": [{"path": "x.py"}]}),
+])
+def test_malformed_baselines_are_rejected(tmp_path, payload):
+    snapshot = tmp_path / "baseline.json"
+    snapshot.write_text(payload)
+    with pytest.raises(ValueError):
+        load_baseline(snapshot)
+
+
+def _bad_tree(tmp_path):
+    core = tmp_path / "tree" / "repro" / "core"
+    core.mkdir(parents=True)
+    (core / "clockwork.py").write_text(BAD_CLOCK)
+    return tmp_path / "tree"
+
+
+def test_cli_baseline_suppresses_known_findings(tmp_path, capsys):
+    tree = _bad_tree(tmp_path)
+    snapshot = tmp_path / "baseline.json"
+    assert main(["lint", str(tree), "--no-cache"]) == 1
+    capsys.readouterr()
+
+    # Record the snapshot, then the same tree lints clean against it.
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(snapshot), "--update-baseline"]) == 0
+    assert "baselined" in capsys.readouterr().err
+    assert load_baseline(snapshot)
+
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(snapshot)]) == 0
+    captured = capsys.readouterr()
+    assert "0 error(s)" in captured.out
+    assert "1 baselined, 0 stale" in captured.err
+
+
+def test_cli_baseline_new_findings_still_fail(tmp_path, capsys):
+    tree = _bad_tree(tmp_path)
+    snapshot = tmp_path / "baseline.json"
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(snapshot), "--update-baseline"]) == 0
+    (tree / "repro" / "core" / "fresh.py").write_text(BAD_CLOCK)
+    capsys.readouterr()
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(snapshot)]) == 1
+    captured = capsys.readouterr()
+    assert "fresh.py" in captured.out
+    assert "clockwork.py" not in captured.out
+
+
+def test_cli_baseline_reports_stale_entries(tmp_path, capsys):
+    tree = _bad_tree(tmp_path)
+    snapshot = tmp_path / "baseline.json"
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(snapshot), "--update-baseline"]) == 0
+    (tree / "repro" / "core" / "clockwork.py").write_text(
+        "def stamp():\n    return 0\n")
+    capsys.readouterr()
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(snapshot)]) == 0
+    err = capsys.readouterr().err
+    assert "0 baselined" in err
+    assert "stale" in err and "refresh with --update-baseline" in err
+
+
+def test_cli_baseline_usage_errors(tmp_path, capsys):
+    tree = _bad_tree(tmp_path)
+    missing = tmp_path / "nope.json"
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(missing)]) == 2
+    assert "record one with --update-baseline" in capsys.readouterr().err
+    assert main(["lint", str(tree), "--no-cache",
+                 "--update-baseline"]) == 2
+    assert "requires --baseline" in capsys.readouterr().err
+    corrupt = tmp_path / "corrupt.json"
+    corrupt.write_text("not json {")
+    assert main(["lint", str(tree), "--no-cache",
+                 "--baseline", str(corrupt)]) == 2
+    assert "bad baseline" in capsys.readouterr().err
+
+
+def test_baseline_keys_match_run_analysis_findings(tmp_path):
+    """A written snapshot round-trips the analyzer's own findings."""
+    tree = _bad_tree(tmp_path)
+    report = run_analysis([tree])
+    assert report.findings
+    snapshot = tmp_path / "baseline.json"
+    write_baseline(snapshot, report.findings)
+    kept, baselined, stale = apply_baseline(report.findings,
+                                            load_baseline(snapshot))
+    assert kept == [] and baselined == len(report.findings) and stale == 0
+    entry = json.loads(snapshot.read_text())["findings"][0]
+    assert Path(entry["path"]).name == "clockwork.py"

@@ -23,8 +23,10 @@ def test_shipped_tree_is_lint_clean():
 def test_rule_catalogue():
     rules = all_rules()
     assert {rule.family for rule in rules} == {"determinism", "protocol",
-                                               "api", "persist", "race"}
-    assert len(rules) >= 15
+                                               "api", "persist", "race",
+                                               "typestate"}
+    assert len(rules) >= 20
+    assert sum(1 for rule in rules if rule.family == "typestate") >= 5
     ids = [rule.id for rule in rules]
     assert ids == sorted(ids)          # deterministic output ordering
 

@@ -25,7 +25,7 @@ def test_extraction_is_exact_on_shipped_tree(facts):
     # Zero warnings: every protocol fact resolves from the sources.
     # A refactor that breaks an anchor shows up here first.
     assert facts.warnings == []
-    assert len(facts.files) == 6
+    assert len(facts.files) == 7
 
 
 def test_extracted_checkpoint_shape(facts):
@@ -36,6 +36,7 @@ def test_extracted_checkpoint_shape(facts):
     assert facts.promotion is not None
     assert facts.promotion.kind == "committed-derived"
     assert facts.promotion.defers_mixed
+    assert facts.bulk_inorder    # queue serviced-cursor discipline holds
 
 
 @pytest.mark.parametrize("system", VERIFY_SYSTEMS)
