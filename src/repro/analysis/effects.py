@@ -41,6 +41,8 @@ Classification table (by callee terminal name):
 ``fence_writes`` /        ``FENCE`` — the *callback* starts fenced;
 ``when_writes_drained`` /   the caller's own continuation does not
 ``persist_barrier``         (the drain is asynchronous)
+``msync``                 ``FENCE`` — store-surface durability flush
+                            (mmap msync; synchronous, no callback)
 ``btt.insert`` etc.       ``TABLE_MUTATE`` (structural vs bookkeeping)
 ``engine.schedule[_at]``  ``SCHEDULE``
 ``self.committed_meta =`` ``COMMIT`` (outside ``__init__``)
@@ -117,6 +119,11 @@ MODE_FLAG = "USE_BULK_RUNS"
 _TABLE_PERSISTERS = frozenset({"_table_persist_jobs"})
 _FENCES = frozenset({"fence_writes", "when_writes_drained",
                      "persist_barrier"})
+# Store-surface durability flushes (mmap msync): fence-like — they
+# order serviced contents into the backing medium.  Synchronous calls
+# with no callback, so they anchor the FENCE surface for the fuzz
+# taxonomy without altering any caller's outstanding-write state.
+_STORE_SYNCS = frozenset({"msync"})
 _SCHEDULERS = frozenset({"schedule", "schedule_at"})
 _TABLE_NAMES = frozenset({"btt", "ptt"})
 STRUCTURAL_MUTATORS = frozenset({"insert", "remove", "create"})
@@ -286,6 +293,8 @@ def classify_call(call: ast.Call) -> Tuple[Optional[Effect], str]:
     if name in _TABLE_PERSISTERS:
         return Effect.TABLE_PERSIST, name
     if name in _FENCES:
+        return Effect.FENCE, name
+    if name in _STORE_SYNCS:
         return Effect.FENCE, name
     if name in _SCHEDULERS and _receiver_name(call.func) == "engine":
         return Effect.SCHEDULE, name

@@ -163,6 +163,11 @@ def _commit(b: TraceBuilder, boundary: int,
                              ...] = ()) -> None:
     """Commit effects: scheme switches fire first, then the commit
     probe makes the boundary's metadata authoritative for recovery."""
+    # The runtime flushes the backing stores to their medium as soon as
+    # the commit record is serviced (mmap msync, docs/PERSISTENCE.md):
+    # a fence-like effect on the store surface, no abstract-state write.
+    b.step(f"boundary-{boundary}:store-sync",
+           emission=Emission("store-sync"))
     for label, emission, anchor in pre_steps:
         b.step(f"boundary-{boundary}:{label}", emission=emission,
                anchor=anchor)

@@ -110,10 +110,9 @@ class ShadowPagingController(StopTheWorldController):
         block_bytes = self.config.block_bytes
         # Functional copy now; timed traffic as payload-free requests so
         # a late-serviced copy can never clobber a younger demand write
-        # to the same slot.
-        for offset in range(blocks):
-            step = offset * block_bytes
-            dram.write(dst_base + step, nvm.read(src_base + step))
+        # to the same slot.  One run splice per page, not one store call
+        # per block (docs/PERSISTENCE.md).
+        dram.write_run(dst_base, blocks, nvm.read_run(src_base, blocks))
         if USE_BULK_RUNS:
             self._issue_bulk_read_traffic(DeviceKind.NVM, src_base,
                                           Origin.MIGRATION, blocks,

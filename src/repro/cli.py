@@ -10,6 +10,8 @@
     repro lint src/ --strict
     repro fuzz --quick --jobs 4
     repro fuzz replay 'thynvm/sparse:s1:e2:b16@fence#1+0'
+    repro crashproc 'thynvm/sparse:s1:e3:b16@commit-write#1+0'
+    repro crashproc --sweep --quick
 
 Installed as the ``repro`` console script; also usable as
 ``python -m repro.cli``.
@@ -21,6 +23,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional
 
@@ -53,6 +56,18 @@ def build_config(args: argparse.Namespace) -> SystemConfig:
         overrides["epoch_cycles"] = us_to_cycles(args.epoch_us)
     if getattr(args, "btt_entries", None):
         overrides["btt_entries"] = args.btt_entries
+    if getattr(args, "store", None):
+        overrides["store_mode"] = args.store
+    if getattr(args, "store_dir", None):
+        overrides["store_dir"] = args.store_dir
+    elif overrides.get("store_mode") == "mmap":
+        # Convenience: --store mmap without a directory gets a fresh
+        # tempdir (docs/PERSISTENCE.md explains the on-disk layout).
+        overrides["store_dir"] = tempfile.mkdtemp(prefix="repro-store-")
+        print(f"repro: mmap store images in {overrides['store_dir']}",
+              file=sys.stderr)
+    if getattr(args, "msync", None):
+        overrides["msync_policy"] = args.msync
     return SystemConfig(**overrides)
 
 
@@ -475,6 +490,53 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crashproc(args: argparse.Namespace) -> int:
+    """`repro crashproc`: cross-process kill -9 crash-recovery testing.
+
+    A child process drives the plan's workload against file-backed
+    (mmap) stores and is SIGKILLed at the plan's crash site; a fresh
+    process then attaches the surviving NVM image file, recovers, and
+    the committed-prefix oracle checks the image (docs/PERSISTENCE.md).
+    ``--sweep`` runs every system at a fixed site set (``--quick`` for
+    the CI smoke subset).  The hidden ``--child``/``--recover`` flags
+    select the subprocess roles and are not meant for direct use.
+    """
+    from .fuzz import parse_plan
+    from .fuzz.crashproc import (run_child, run_crashproc, run_recover,
+                                 run_sweep)
+
+    if args.child or args.recover:
+        if not args.plan or not args.store_dir:
+            raise SystemExit("crashproc --child/--recover need a plan "
+                             "and --store-dir")
+        plan = parse_plan(args.plan)
+        if args.child:
+            return run_child(plan, args.store_dir)
+        print(json.dumps(run_recover(plan, args.store_dir), sort_keys=True))
+        return 0
+
+    if args.sweep:
+        results = run_sweep(quick=args.quick, store_root=args.store_dir,
+                            keep=args.keep, timeout=args.timeout)
+        print(json.dumps([r.to_dict() for r in results],
+                         indent=2, sort_keys=True))
+        bad = [r for r in results if r.outcome != "pass"]
+        if bad:
+            raise FuzzFailure(
+                f"{len(bad)} of {len(results)} kill -9 cycles failed: "
+                + "; ".join(f"{r.plan} [{r.outcome}]" for r in bad))
+        return 0
+
+    if not args.plan:
+        raise SystemExit("crashproc: give a crash plan string or --sweep")
+    result = run_crashproc(parse_plan(args.plan), store_dir=args.store_dir,
+                           keep=args.keep, timeout=args.timeout)
+    print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    if result.failed:
+        raise FuzzFailure(f"plan {args.plan} failed: {result.detail}")
+    return 0
+
+
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workload", default="random",
                         help="random | streaming | sliding | kv-hash | "
@@ -491,6 +553,18 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--epoch-us", type=float, default=None,
                         help="epoch length in microseconds")
     parser.add_argument("--btt-entries", type=int, default=None)
+    parser.add_argument("--store", default=None,
+                        choices=("auto", "functional", "mmap", "null"),
+                        help="functional datastore backend (default auto: "
+                             "in-memory when data tracking is on; mmap = "
+                             "file-backed, docs/PERSISTENCE.md)")
+    parser.add_argument("--store-dir", default=None,
+                        help="directory for mmap store image files "
+                             "(default with --store mmap: a fresh tempdir)")
+    parser.add_argument("--msync", default=None,
+                        choices=("none", "commit", "always"),
+                        help="mmap flush policy (default commit: msync at "
+                             "each checkpoint commit)")
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -544,6 +618,11 @@ def make_parser() -> argparse.ArgumentParser:
     perf_parser.add_argument("--label", default=None,
                              help="trajectory entry label "
                                   "(default: the mode name)")
+    perf_parser.add_argument("--store", default="auto",
+                             choices=("auto", "functional", "mmap", "null"),
+                             help="functional-store backend axis; mmap "
+                                  "prices the file-backed store "
+                                  "(docs/PERSISTENCE.md)")
     perf_parser.add_argument("--json", action="store_true",
                              help="print the new entry as JSON on stdout")
     perf_parser.add_argument("--output", default="BENCH_PERF.json",
@@ -683,6 +762,35 @@ def make_parser() -> argparse.ArgumentParser:
     fuzz_sub.add_parser(
         "sites", help="print the crash-site taxonomy and coverage gaps")
     fuzz_parser.set_defaults(func=cmd_fuzz, fuzz_command=None)
+
+    crashproc_parser = sub.add_parser(
+        "crashproc", help="cross-process kill -9 crash-recovery testing "
+                          "(docs/PERSISTENCE.md)")
+    crashproc_parser.add_argument(
+        "plan", nargs="?", default=None,
+        help="crash plan string, e.g. "
+             "'thynvm/sparse:s1:e3:b16@commit-write#1+0'")
+    crashproc_parser.add_argument("--sweep", action="store_true",
+                                  help="run every system at the fixed "
+                                       "sweep sites")
+    crashproc_parser.add_argument("--quick", action="store_true",
+                                  help="with --sweep: one mid-checkpoint "
+                                       "site per system (CI smoke)")
+    crashproc_parser.add_argument("--store-dir", default=None,
+                                  help="image directory (default: fresh "
+                                       "tempdir, removed unless the run "
+                                       "fails or --keep is given)")
+    crashproc_parser.add_argument("--keep", action="store_true",
+                                  help="keep the image directory even on "
+                                       "success")
+    crashproc_parser.add_argument("--timeout", type=float, default=180.0,
+                                  help="per-subprocess watchdog seconds "
+                                       "(default 180)")
+    crashproc_parser.add_argument("--child", action="store_true",
+                                  help=argparse.SUPPRESS)
+    crashproc_parser.add_argument("--recover", action="store_true",
+                                  help=argparse.SUPPRESS)
+    crashproc_parser.set_defaults(func=cmd_crashproc)
 
     return parser
 

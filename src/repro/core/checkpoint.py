@@ -291,6 +291,12 @@ class CheckpointRun:
             return
         self._finished = True
         self.end_time = self.engine.now
+        # The commit record is serviced: push the stores' contents to
+        # their backing medium before flipping metadata, so a file-backed
+        # store (docs/PERSISTENCE.md) is durable at exactly the protocol
+        # commit point.  A fence-like effect on the store surface.
+        probes.notify("store-sync")
+        self.memctrl.msync()
         self.on_commit()
 
     def abort(self) -> None:

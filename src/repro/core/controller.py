@@ -1100,12 +1100,15 @@ class ThyNVMController:
         dst_base = self.layout.region_page_addr(REGION_B, pe.page)
         dram = self.memctrl.functional_store(DeviceKind.DRAM)
         nvm = self.memctrl.functional_store(DeviceKind.NVM)
-        for offset in range(self.config.blocks_per_page):
-            step = offset * self.config.block_bytes
-            nvm.write(dst_base + step, dram.read(src_base + step))
+        blocks = self.config.blocks_per_page
+        block_bytes = self.config.block_bytes
+        payload = dram.read_run(src_base, blocks)
+        nvm.write_run(dst_base, blocks, payload)
+        for offset in range(blocks):
+            step = offset * block_bytes
             self._issue_fire_and_forget(
                 DeviceKind.NVM, dst_base + step, True, Origin.MIGRATION,
-                data=dram.read(src_base + step))
+                data=payload[step:step + block_bytes])
         self._evicted_pages[pe.page] = (REGION_A, 2)
         self.ptt.remove(pe.page)
         self.layout.release_slot(pe.dram_slot)

@@ -28,6 +28,8 @@ kind                      fired when
 ``fence``                 the pre-commit NVM fence is issued
 ``commit-write``          the commit record is submitted to NVM
 ``commit``                the commit record serviced and metadata flipped
+``store-sync``            the backing stores are flushed to their medium
+                          (mmap msync at the commit point)
 ``aux-commit``            an auxiliary (sub-epoch) checkpoint committed
 ``promote``               a page adopted into the DRAM buffer (detail: page)
 ``demote``                a page demotion started (detail: page)
@@ -45,7 +47,8 @@ _observer: Optional[Observer] = None
 #: Every site kind notify() may legally be called with.
 SITE_KINDS: Tuple[str, ...] = (
     "ckpt-start", "stage-done", "bulk-write", "table-persist", "fence",
-    "commit-write", "commit", "aux-commit", "promote", "demote",
+    "commit-write", "commit", "store-sync", "aux-commit", "promote",
+    "demote",
 )
 
 

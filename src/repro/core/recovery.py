@@ -67,22 +67,36 @@ class RecoveredState:
     def visible_block(self, block: int) -> bytes:
         """Bytes of one physical block in the recovered state."""
         nvm = self.memctrl.functional_store(DeviceKind.NVM)
-        page = self.addresses.page_of_block(block)
-        page_info = self.meta.page_regions.get(page)
-        if page_info is not None:
-            region, _slot = page_info
-            offset = block - next(iter(self.addresses.blocks_in_page(page)))
-            addr = (self.layout.region_page_addr(region, page)
-                    + offset * self.layout.block_bytes)
-            return nvm.read(addr)
-        region = self.meta.block_regions.get(block)
-        if region is not None:
-            return nvm.read(self.layout.region_block_addr(region, block))
-        return nvm.read(self.layout.home_block_addr(block))
+        return visible_block_in_store(self.meta, self.layout,
+                                      self.addresses, nvm, block)
 
     def snapshot_physical(self, num_blocks: int) -> Dict[int, bytes]:
         """Full functional image of the first ``num_blocks`` blocks."""
         return {b: self.visible_block(b) for b in range(num_blocks)}
+
+
+def visible_block_in_store(meta: MetaSnapshot, layout: HardwareLayout,
+                           addresses: AddressMap, nvm, block: int) -> bytes:
+    """Bytes of one physical block, resolved against a bare NVM store.
+
+    The §4.5 lookup order — committed PTT page, else committed BTT
+    block, else home region — against any object speaking the datastore
+    protocol.  Cross-process recovery (``repro crashproc``) uses this
+    with an attached :class:`~repro.mem.mmapstore.MmapStore`, with no
+    controller in the recovering process at all.
+    """
+    page = addresses.page_of_block(block)
+    page_info = meta.page_regions.get(page)
+    if page_info is not None:
+        region, _slot = page_info
+        offset = block - next(iter(addresses.blocks_in_page(page)))
+        addr = (layout.region_page_addr(region, page)
+                + offset * layout.block_bytes)
+        return nvm.read(addr)
+    region = meta.block_regions.get(block)
+    if region is not None:
+        return nvm.read(layout.region_block_addr(region, block))
+    return nvm.read(layout.home_block_addr(block))
 
 
 def recover(
@@ -107,9 +121,8 @@ def recover(
     for page, (region, slot) in meta.page_regions.items():
         src_base = layout.region_page_addr(region, page)
         dst_base = layout.page_slot_addr(slot)
-        for offset in range(blocks_per_page):
-            data = nvm.read(src_base + offset * config.block_bytes)
-            dram.write(dst_base + offset * config.block_bytes, data)
+        dram.write_run(dst_base, blocks_per_page,
+                       nvm.read_run(src_base, blocks_per_page))
 
     # Latency estimate: sequential NVM reads stream across the banks.
     per_read = (config.nvm.row_miss_clean + config.nvm.burst) // config.num_banks

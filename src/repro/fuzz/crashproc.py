@@ -1,0 +1,586 @@
+"""Cross-process crash testing: ``kill -9`` a child mid-checkpoint.
+
+``repro crashproc`` proves the mmap-backed store's durability story end
+to end with a *real* process death, instead of the in-process
+``controller.crash()`` the fuzz campaign uses:
+
+1. **child** — a subprocess drives the plan's workload against
+   file-backed stores (``store_mode="mmap"``).  A probe observer counts
+   protocol events exactly like the fuzz runner's injector; at the
+   armed site it prints a marker line and ``SIGSTOP``\\ s itself
+   mid-simulation.
+2. **kill** — the parent, seeing the marker, delivers ``SIGKILL``.
+   Nothing in the child runs again: whatever reached the ``MAP_SHARED``
+   file pages is what survives — precisely the process-crash
+   persistence model of docs/PERSISTENCE.md.
+3. **recover** — a *fresh* process attaches the NVM image file alone
+   (no controller, no simulation), reads the recovery-metadata record
+   from the store's meta region and rebuilds the software-visible
+   image per system: the §4.5 BTT/PTT lookup for the ThyNVM variants,
+   committed-shadow-page reads for shadow paging, log replay for
+   journaling.
+4. **oracle** — the parent regenerates the golden images from the
+   plan's deterministic schedule and checks the committed-prefix
+   invariant, mirroring :mod:`repro.fuzz.runner`.
+
+The recovery metadata a real system keeps durably in NVM (the
+committed BTT/PTT, the shadow page map, the journal's log directory)
+is serialized by the child into the store's meta region at each point
+the protocol makes it durable — commit for the table-based systems,
+the log-durable stage for journaling — so the recovering process
+depends on nothing but the image file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import select
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..config import SystemConfig
+from ..core import probes
+from ..core.recovery import MetaSnapshot, visible_block_in_store
+from ..core.regions import REGION_B, HardwareLayout
+from ..errors import WorkloadError
+from ..mem.address import AddressMap
+from ..mem.controller import DeviceKind
+from ..mem.mmapstore import MmapStore
+from ..sim.engine import Engine
+from ..sim.request import Origin
+from ..stats.collector import StatsCollector
+from .plan import FUZZ_SYSTEMS, CrashPlan
+from .runner import (_THYNVM_POLICIES, _advance, _build_controller,
+                     _committed_past, _ready_for_boundary, _settle_writes,
+                     fuzz_config)
+from .workloads import build_schedule, observed_blocks
+
+#: Child stdout protocol: one marker per line, flushed before SIGSTOP.
+READY_MARKER = "CRASHPROC-READY"
+UNREACHED_MARKER = "CRASHPROC-UNREACHED"
+_COMMIT_PREFIX = "CRASHPROC-COMMIT "
+
+#: Image file the recovery process attaches (MemoryController names the
+#: per-device files ``<kind>.img`` inside ``config.store_dir``).
+NVM_IMAGE = f"{DeviceKind.NVM.value}.img"
+
+#: Hand-picked, always-reachable sites for the sweep (kind#occurrence).
+#: ``commit-write`` is mid-checkpoint — after the data stages, before
+#: the commit record is durable — the acceptance crash point.
+SWEEP_SITES: Tuple[str, ...] = ("ckpt-start#1", "fence#1",
+                                "commit-write#2", "commit#1")
+QUICK_SWEEP_SITES: Tuple[str, ...] = ("commit-write#1",)
+
+
+def crashproc_config(store_dir: str) -> SystemConfig:
+    """The fuzz configuration rebased onto file-backed stores."""
+    return dataclasses.replace(fuzz_config(), store_mode="mmap",
+                               store_dir=store_dir, msync_policy="commit")
+
+
+def sweep_plans(quick: bool = False) -> List[CrashPlan]:
+    """Every system crossed with the sweep's crash sites."""
+    sites = QUICK_SWEEP_SITES if quick else SWEEP_SITES
+    plans: List[CrashPlan] = []
+    for system in FUZZ_SYSTEMS:
+        for site in sites:
+            kind, occurrence = site.split("#")
+            plans.append(CrashPlan(system=system, workload="sparse",
+                                   seed=1, epochs=3, blocks=16,
+                                   site=kind, occurrence=int(occurrence)))
+    return plans
+
+
+# --- child process -------------------------------------------------------
+
+
+class _FreezeInjector:
+    """Counts probe events; at the armed site, halts the process.
+
+    Mirrors the fuzz runner's ``CrashInjector``, but instead of calling
+    ``controller.crash()`` it announces readiness on stdout and stops
+    itself so the parent can deliver the real ``SIGKILL``.  The stop is
+    scheduled (never synchronous inside the probe callback) so the
+    protocol method that fired the probe unwinds first, exactly like
+    the in-process injector.
+    """
+
+    def __init__(self, engine: Engine, plan: CrashPlan) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.matched = 0
+        self.armed = False
+
+    def observe(self, kind: str, detail: str) -> None:
+        plan = self.plan
+        if self.armed or kind != plan.site:
+            return
+        if plan.detail and detail != plan.detail:
+            return
+        self.matched += 1
+        if self.matched == plan.occurrence:
+            self.armed = True
+            self.engine.schedule(plan.jitter, self._freeze)
+
+    def _freeze(self) -> None:
+        sys.stdout.write(READY_MARKER + "\n")
+        sys.stdout.flush()
+        os.kill(os.getpid(), signal.SIGSTOP)
+
+
+class _MetaRecorder:
+    """Serializes recovery metadata into the NVM store's meta region.
+
+    Models what a real controller keeps durably in NVM: the committed
+    BTT/PTT for the ThyNVM variants, the committed page map for shadow
+    paging, the log directory for journaling.  Each record is written
+    at the probe marking the point the protocol makes it durable, so a
+    ``SIGKILL`` at any moment leaves the file with the metadata of the
+    last durable point — the ping-pong meta slots make the record write
+    itself atomic.
+    """
+
+    def __init__(self, system: str, controller: Any,
+                 store: MmapStore) -> None:
+        self.system = system
+        self.controller = controller
+        self.store = store
+
+    def observe(self, kind: str, detail: str) -> None:
+        controller = self.controller
+        if self.system in _THYNVM_POLICIES:
+            if kind in ("commit", "aux-commit"):
+                meta = controller.committed_meta
+                self._persist({
+                    "epoch": meta.epoch,
+                    "block_regions": {
+                        str(block): region
+                        for block, region in meta.block_regions.items()},
+                    "page_regions": {
+                        str(page): [region, slot]
+                        for page, (region, slot)
+                        in meta.page_regions.items()},
+                })
+        elif self.system == "shadow":
+            if kind in ("commit", "aux-commit"):
+                # base._committed flips the page map before notifying.
+                self._persist({
+                    "epoch": controller.epoch - (1 if kind == "commit"
+                                                 else 0),
+                    "page_regions": {
+                        str(page): region
+                        for page, region
+                        in controller._page_region.items()},
+                })
+        elif self.system == "journal":
+            if kind == "stage-done":
+                # The log stage is fully serviced at stage 1 of a main
+                # run (stage 0 is CPU state) or stage 0 of an aux run:
+                # this epoch is now recoverable by replay, before its
+                # commit record lands (the same early-commit rule the
+                # in-process oracle applies).
+                aux = controller._aux_run is not None
+                if detail == ("0" if aux else "1"):
+                    self._persist({
+                        "epoch": controller.epoch,
+                        "log": {str(block): slot
+                                for block, slot in controller._log_plan},
+                    })
+            elif kind in ("commit", "aux-commit"):
+                # In-place writes are durable; the log is superseded.
+                self._persist({
+                    "epoch": controller.epoch - (1 if kind == "commit"
+                                                 else 0),
+                    "log": None,
+                })
+
+    def _persist(self, record: Dict[str, Any]) -> None:
+        payload = json.dumps(record, sort_keys=True).encode("ascii")
+        self.store.write_meta(payload)
+
+
+def run_child(plan: CrashPlan, store_dir: str) -> int:
+    """Drive the plan's workload; freeze at the armed site.
+
+    Runs in the child process.  Prints ``CRASHPROC-COMMIT <epoch>``
+    after each observed commit (the parent's committed-prefix
+    knowledge), ``CRASHPROC-READY`` then ``SIGSTOP`` at the crash
+    site, or ``CRASHPROC-UNREACHED`` if the site never fires.
+    """
+    config = crashproc_config(store_dir)
+    schedule = build_schedule(plan.workload, plan.seed, plan.epochs,
+                              plan.blocks, config)
+    engine = Engine()
+    stats = StatsCollector(config.block_bytes)
+    controller = _build_controller(plan.system, engine, config, stats)
+    nvm = controller.memctrl.functional_store(DeviceKind.NVM)
+    if not isinstance(nvm, MmapStore):
+        raise WorkloadError("crashproc child requires mmap-backed stores")
+
+    injector = _FreezeInjector(engine, plan)
+    recorder = _MetaRecorder(plan.system, controller, nvm)
+
+    def observe(kind: str, detail: str) -> None:
+        # Metadata first: the freeze only ever runs via the scheduler,
+        # after the current event (and its record) completes.
+        recorder.observe(kind, detail)
+        injector.observe(kind, detail)
+
+    previous = probes.set_observer(observe)
+    try:
+        for epoch, writes in enumerate(schedule):
+            for block, data in writes:
+                controller.write_block(block * config.block_bytes,
+                                       Origin.CPU, data=data)
+                engine.run(until=engine.now + 1_000)
+            _settle_writes(engine, controller, stats)
+            _advance(engine, controller,
+                     _ready_for_boundary(plan.system, controller))
+            controller.force_epoch_end("crashproc")
+            _advance(engine, controller,
+                     _committed_past(plan.system, controller, epoch))
+            if _committed_past(plan.system, controller, epoch)():
+                sys.stdout.write(f"{_COMMIT_PREFIX}{epoch}\n")
+                sys.stdout.flush()
+        # Let a jitter-delayed freeze play out before giving up.
+        engine.run(until=engine.now + 1_000_000)
+    finally:
+        probes.set_observer(previous)
+    sys.stdout.write(UNREACHED_MARKER + "\n")
+    sys.stdout.flush()
+    return 0
+
+
+# --- recovery process ----------------------------------------------------
+
+
+def run_recover(plan: CrashPlan, store_dir: str) -> Dict[str, Any]:
+    """Attach the NVM image in a fresh process and rebuild the image.
+
+    No controller and no simulation exist here: recovery is a pure
+    function of the file contents, exactly the property cross-process
+    crash testing is meant to establish.
+    """
+    config = crashproc_config(store_dir)
+    layout = HardwareLayout(config)
+    addresses = AddressMap(config)
+    schedule = build_schedule(plan.workload, plan.seed, plan.epochs,
+                              plan.blocks, config)
+    blocks = observed_blocks(schedule)
+    nvm = MmapStore(config.block_bytes, layout.nvm_bytes,
+                    os.path.join(store_dir, NVM_IMAGE),
+                    msync_policy="none", must_exist=True)
+    try:
+        payload = nvm.read_meta()
+        record: Optional[Dict[str, Any]] = (
+            None if payload is None
+            else json.loads(payload.decode("ascii")))
+        epoch, image = _rebuild_image(plan.system, record, config,
+                                      layout, addresses, nvm, blocks)
+    finally:
+        nvm.close()
+    return {
+        "plan": str(plan),
+        "recovered_epoch": epoch,
+        "image": {str(block): data.hex()
+                  for block, data in sorted(image.items())},
+    }
+
+
+def _rebuild_image(system: str, record: Optional[Dict[str, Any]],
+                   config: SystemConfig, layout: HardwareLayout,
+                   addresses: AddressMap, nvm: MmapStore,
+                   blocks: List[int]) -> Tuple[int, Dict[int, bytes]]:
+    """Per-system software-visible image from the bare NVM store."""
+    block_bytes = config.block_bytes
+    image: Dict[int, bytes] = {}
+    if system in _THYNVM_POLICIES:
+        if record is None:
+            meta = MetaSnapshot(epoch=-1)
+        else:
+            meta = MetaSnapshot(
+                epoch=int(record["epoch"]),
+                block_regions={
+                    int(block): int(region)
+                    for block, region in record["block_regions"].items()},
+                page_regions={
+                    int(page): (int(pair[0]), int(pair[1]))
+                    for page, pair in record["page_regions"].items()})
+        for block in blocks:
+            image[block] = visible_block_in_store(meta, layout, addresses,
+                                                 nvm, block)
+        return meta.epoch, image
+    epoch = -1 if record is None else int(record["epoch"])
+    if system == "shadow":
+        page_regions: Dict[int, int] = {}
+        if record is not None:
+            page_regions = {int(page): int(region)
+                            for page, region
+                            in record["page_regions"].items()}
+        for block in blocks:
+            page = addresses.page_of_block(block)
+            region = page_regions.get(page, REGION_B)
+            offset = block - next(iter(addresses.blocks_in_page(page)))
+            image[block] = nvm.read(layout.region_page_addr(region, page)
+                                    + offset * block_bytes)
+        return epoch, image
+    # Journaling: replay the committed log over the home region.
+    log: Dict[int, int] = {}
+    if record is not None and record.get("log"):
+        log = {int(block): int(slot)
+               for block, slot in record["log"].items()}
+    for block in blocks:
+        slot = log.get(block)
+        if slot is not None:
+            image[block] = nvm.read(layout.region_a_base
+                                    + slot * block_bytes)
+        else:
+            image[block] = nvm.read(layout.home_block_addr(block))
+    return epoch, image
+
+
+# --- parent orchestration ------------------------------------------------
+
+
+@dataclass
+class CrashProcResult:
+    """Outcome of one cross-process crash cycle (JSON-stable)."""
+
+    plan: str
+    outcome: str                      # "pass" | "fail" | "unreached"
+    recovered_epoch: Optional[int] = None
+    committed_epochs: List[int] = field(default_factory=list)
+    detail: str = ""                  # failure description ("" if none)
+    store_dir: str = ""               # kept image dir ("" if removed)
+
+    @property
+    def failed(self) -> bool:
+        return self.outcome == "fail"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "plan": self.plan,
+            "outcome": self.outcome,
+            "recovered_epoch": self.recovered_epoch,
+            "committed_epochs": list(self.committed_epochs),
+            "detail": self.detail,
+            "store_dir": self.store_dir,
+        }
+
+
+def golden_images(plan: CrashPlan,
+                  config: SystemConfig) -> Dict[int, Dict[int, bytes]]:
+    """Golden image per epoch boundary, from the schedule alone."""
+    schedule = build_schedule(plan.workload, plan.seed, plan.epochs,
+                              plan.blocks, config)
+    goldens: Dict[int, Dict[int, bytes]] = {-1: {}}
+    merged: Dict[int, bytes] = {}
+    for epoch, writes in enumerate(schedule):
+        for block, data in writes:
+            merged[block] = data
+        goldens[epoch] = dict(merged)
+    return goldens
+
+
+def _child_env() -> Dict[str, str]:
+    env = dict(os.environ)
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (package_root + os.pathsep + existing
+                         if existing else package_root)
+    env.setdefault("PYTHONHASHSEED", "0")
+    return env
+
+
+def _drive_child(plan: CrashPlan, store_dir: str,
+                 timeout: float) -> Tuple[List[int], str]:
+    """Spawn the child, follow its markers, SIGKILL it at the site.
+
+    Returns the committed epochs the child reported and the marker it
+    stopped at (``READY_MARKER`` or ``UNREACHED_MARKER``).  Raises
+    :class:`WorkloadError` on timeout or an unexpected child death.
+    """
+    argv = [sys.executable, "-m", "repro.cli", "crashproc", str(plan),
+            "--store-dir", store_dir, "--child"]
+    proc = subprocess.Popen(argv, stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE, env=_child_env())
+    stdout = proc.stdout
+    assert stdout is not None
+    committed: List[int] = []
+    marker = ""
+    buffer = b""
+    deadline = time.monotonic() + timeout
+    try:
+        fd = stdout.fileno()
+        while not marker:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkloadError(
+                    f"crashproc child timed out after {timeout:.0f}s "
+                    f"({plan})")
+            ready, _, _ = select.select([fd], [], [], remaining)
+            if not ready:
+                continue
+            chunk = os.read(fd, 65536)
+            if chunk == b"":
+                stderr = proc.stderr
+                tail = (stderr.read().decode("utf-8", "replace").strip()
+                        if stderr is not None else "")
+                raise WorkloadError(
+                    "crashproc child exited before reaching the site "
+                    f"({plan}): {tail or 'no stderr'}")
+            buffer += chunk
+            while b"\n" in buffer:
+                raw, buffer = buffer.split(b"\n", 1)
+                line = raw.decode("utf-8", "replace").strip()
+                if line.startswith(_COMMIT_PREFIX):
+                    committed.append(int(line[len(_COMMIT_PREFIX):]))
+                elif line in (READY_MARKER, UNREACHED_MARKER):
+                    marker = line
+                    break
+        if marker == READY_MARKER:
+            # The child is SIGSTOPped mid-simulation: this is the real
+            # kill -9 — nothing in the child ever runs again.
+            os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        stdout.close()
+        if proc.stderr is not None:
+            proc.stderr.close()
+    return committed, marker
+
+
+def _recover_in_fresh_process(plan: CrashPlan, store_dir: str,
+                              timeout: float) -> Dict[str, Any]:
+    argv = [sys.executable, "-m", "repro.cli", "crashproc", str(plan),
+            "--store-dir", store_dir, "--recover"]
+    done = subprocess.run(argv, capture_output=True, text=True,
+                          timeout=timeout, env=_child_env())
+    if done.returncode != 0:
+        raise WorkloadError(
+            f"crashproc recovery failed (exit {done.returncode}): "
+            f"{done.stderr.strip() or done.stdout.strip()}")
+    payload: Dict[str, Any] = json.loads(done.stdout)
+    return payload
+
+
+def _check_oracle(plan: CrashPlan, config: SystemConfig,
+                  committed: List[int], recovered: Dict[str, Any],
+                  result: CrashProcResult) -> None:
+    """Committed-prefix invariant over the fresh-process image.
+
+    A commit can land between the child's last ``COMMIT`` line and the
+    kill (the same race the in-process runner resolves by re-checking
+    after the crash), so the committed prefix is allowed to extend one
+    epoch past the last reported commit — content equality against
+    that epoch's golden still fully constrains the image.
+    """
+    goldens = golden_images(plan, config)
+    schedule = build_schedule(plan.workload, plan.seed, plan.epochs,
+                              plan.blocks, config)
+    blocks = observed_blocks(schedule)
+    empty = bytes(config.block_bytes)
+    image = {int(block): bytes.fromhex(data)
+             for block, data in recovered["image"].items()}
+    epoch = int(recovered["recovered_epoch"])
+    limit = (max(committed) if committed else -1) + 1
+    result.recovered_epoch = epoch
+
+    if plan.system in _THYNVM_POLICIES:
+        if epoch not in goldens or epoch > limit:
+            result.outcome = "fail"
+            result.detail = (f"recovered to epoch {epoch}, outside the "
+                             f"committed prefix (reported commits: "
+                             f"{committed})")
+            return
+        golden = goldens[epoch]
+        for block in blocks:
+            if image.get(block, empty) != golden.get(block, empty):
+                result.outcome = "fail"
+                result.detail = (f"block {block} mismatch after "
+                                 f"recovery to epoch {epoch}")
+                return
+        return
+
+    candidates = [epoch for epoch in sorted(goldens, reverse=True)
+                  if epoch <= limit]
+    for candidate in candidates:
+        golden = goldens[candidate]
+        if all(image.get(block, empty) == golden.get(block, empty)
+               for block in blocks):
+            result.recovered_epoch = candidate
+            return
+    result.outcome = "fail"
+    result.detail = ("recovered image matches no committed epoch "
+                     f"boundary (reported commits: {committed})")
+
+
+def run_crashproc(plan: CrashPlan, store_dir: Optional[str] = None,
+                  keep: bool = False,
+                  timeout: float = 180.0) -> CrashProcResult:
+    """One full kill -9 cycle: drive, kill, recover, check the oracle.
+
+    The image directory is a fresh tempdir unless ``store_dir`` is
+    given; on failure (or with ``keep``) it survives as the forensic
+    artifact and its path is recorded in the result.
+    """
+    owned = store_dir is None
+    directory = (tempfile.mkdtemp(prefix="crashproc-")
+                 if store_dir is None else store_dir)
+    result = CrashProcResult(plan=str(plan), outcome="pass",
+                             store_dir=directory)
+    config = fuzz_config()
+    try:
+        committed, marker = _drive_child(plan, directory, timeout)
+        result.committed_epochs = committed
+        if marker == UNREACHED_MARKER:
+            result.outcome = "unreached"
+            result.detail = (f"site {plan.site}"
+                             f"{'.' + plan.detail if plan.detail else ''}"
+                             f"#{plan.occurrence} never fired")
+        else:
+            recovered = _recover_in_fresh_process(plan, directory, timeout)
+            _check_oracle(plan, config, committed, recovered, result)
+    finally:
+        if owned and not (keep or result.failed):
+            shutil.rmtree(directory, ignore_errors=True)
+            result.store_dir = ""
+    return result
+
+
+def run_sweep(quick: bool = False, store_root: Optional[str] = None,
+              keep: bool = False,
+              timeout: float = 180.0) -> List[CrashProcResult]:
+    """The kill -9 sweep: every system at every sweep site.
+
+    Any outcome other than "pass" — including "unreached", which means
+    the site catalogue and the protocol have drifted apart — counts as
+    a sweep failure for the caller.
+    """
+    results: List[CrashProcResult] = []
+    for plan in sweep_plans(quick):
+        directory: Optional[str] = None
+        if store_root is not None:
+            directory = os.path.join(
+                store_root, str(plan).replace("/", "_").replace("@", "_"))
+            os.makedirs(directory, exist_ok=True)
+        result = run_crashproc(plan, store_dir=directory, keep=keep,
+                               timeout=timeout)
+        if (store_root is not None and directory is not None
+                and not (keep or result.failed)):
+            shutil.rmtree(directory, ignore_errors=True)
+            result.store_dir = ""
+        results.append(result)
+    return results

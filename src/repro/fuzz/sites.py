@@ -36,6 +36,7 @@ KIND_EFFECTS: Dict[str, Tuple[Effect, ...]] = {
     "fence": (Effect.FENCE,),
     "commit-write": (Effect.COMMIT,),
     "commit": (Effect.COMMIT,),
+    "store-sync": (Effect.FENCE,),
     "aux-commit": (Effect.COMMIT,),
     # Lifecycle kinds: not one effect but a protocol phase edge.
     "ckpt-start": (),
@@ -54,6 +55,8 @@ KIND_DESCRIPTIONS: Dict[str, str] = {
     "fence": "the pre-commit NVM write-queue fence is issued",
     "commit-write": "the commit record is submitted to NVM",
     "commit": "the commit record is serviced and metadata flips",
+    "store-sync": "the backing stores are flushed to their medium "
+                  "(mmap msync at the commit point)",
     "aux-commit": "an auxiliary (sub-epoch) checkpoint commits",
     "promote": "a page is adopted into the DRAM buffer (detail: page)",
     "demote": "a page demotion starts (detail: page)",

@@ -4,6 +4,7 @@ from .address import AddressMap
 from .controller import DeviceKind, MemoryController
 from .datastore import FunctionalStore, NullStore
 from .device import MemoryDevice
+from .mmapstore import MmapStore
 
 __all__ = [
     "AddressMap",
@@ -11,5 +12,6 @@ __all__ = [
     "MemoryController",
     "FunctionalStore",
     "NullStore",
+    "MmapStore",
     "MemoryDevice",
 ]

@@ -5,19 +5,67 @@ The paper's evaluation is timing-only, but crash consistency is a
 Writes become durable exactly when the device services them — data
 sitting in controller queues is lost on a crash, which is precisely the
 hazard ThyNVM's commit protocol must tolerate.
+
+Every store speaks the same protocol:
+
+* block ops — ``write``/``read``/``copy_block``/``erase`` plus
+  ``__contains__``/``__len__`` over written block addresses;
+* bulk ops — ``write_run``/``read_run``/``copy_run`` move ``count``
+  consecutive blocks in one call, so a batched bulk run (see
+  docs/PERFORMANCE.md) lands as one buffer splice instead of one store
+  call per 64 B block;
+* durability — ``msync()`` pushes contents to the backing medium.  A
+  no-op here; :class:`~repro.mem.mmapstore.MmapStore` flushes its
+  mapped file.
+
+``write_run`` accepts either one contiguous bytes-like payload of
+``count * block_bytes`` bytes, or a sequence of ``count`` per-block
+payloads where ``None`` entries are skipped (a bulk run may interleave
+payload-free timing traffic with real data).  Unwritten blocks always
+read as zeros; the zero block is cached per store so misses do not
+allocate (``read`` on a cold address is allocation-free).
+
+:class:`FunctionalStore` (dict-backed) is the conformance reference:
+the mmap backend is pinned byte-identical to it by a hypothesis
+property test (``tests/mem/test_mmapstore.py``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Union
+
+#: A bulk payload: one contiguous buffer, or per-block chunks
+#: (``None`` entries carry no data and leave the block untouched).
+RunData = Union[bytes, bytearray, memoryview,
+                Sequence[Optional[bytes]]]
+
+
+def _run_chunks(data: RunData, count: int,
+                block_bytes: int) -> Sequence[Optional[bytes]]:
+    """Normalize a bulk payload to ``count`` per-block chunks."""
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        if len(data) != count * block_bytes:
+            raise ValueError(
+                f"run payload must be {count * block_bytes} bytes "
+                f"({count} x {block_bytes}), got {len(data)}")
+        view = memoryview(data)
+        return [bytes(view[index * block_bytes:(index + 1) * block_bytes])
+                for index in range(count)]
+    if len(data) != count:
+        raise ValueError(
+            f"run payload must have {count} block entries, got {len(data)}")
+    return data
 
 
 class FunctionalStore:
     """Block-granularity byte storage keyed by hardware block address."""
 
+    __slots__ = ("block_bytes", "_blocks", "_zero")
+
     def __init__(self, block_bytes: int) -> None:
         self.block_bytes = block_bytes
         self._blocks: Dict[int, bytes] = {}
+        self._zero = bytes(block_bytes)
 
     def write(self, addr: int, data: Optional[bytes]) -> None:
         """Store one block.  ``None`` payloads are ignored (timing-only)."""
@@ -26,11 +74,28 @@ class FunctionalStore:
         if len(data) != self.block_bytes:
             raise ValueError(
                 f"payload must be {self.block_bytes} bytes, got {len(data)}")
-        self._blocks[addr] = data
+        self._blocks[addr] = bytes(data)
 
     def read(self, addr: int) -> bytes:
-        """Read one block; unwritten blocks read as zeros."""
-        return self._blocks.get(addr, bytes(self.block_bytes))
+        """Read one block; unwritten blocks read as (cached) zeros."""
+        return self._blocks.get(addr, self._zero)
+
+    def write_run(self, addr: int, count: int, data: RunData) -> None:
+        """Store ``count`` consecutive blocks starting at ``addr``."""
+        block_bytes = self.block_bytes
+        for index, chunk in enumerate(_run_chunks(data, count, block_bytes)):
+            self.write(addr + index * block_bytes, chunk)
+
+    def read_run(self, addr: int, count: int) -> bytes:
+        """Read ``count`` consecutive blocks as one contiguous buffer."""
+        block_bytes = self.block_bytes
+        return b"".join(self._blocks.get(addr + index * block_bytes,
+                                         self._zero)
+                        for index in range(count))
+
+    def copy_run(self, src: int, dst: int, count: int) -> None:
+        """Copy ``count`` consecutive blocks within this store."""
+        self.write_run(dst, count, self.read_run(src, count))
 
     def copy_block(self, src: int, dst: int) -> None:
         """Device-internal copy used by recovery/migration helpers."""
@@ -39,6 +104,9 @@ class FunctionalStore:
     def erase(self) -> None:
         """Lose all contents (models a volatile device losing power)."""
         self._blocks.clear()
+
+    def msync(self) -> None:
+        """Push contents to the backing medium (no medium here)."""
 
     def __contains__(self, addr: int) -> bool:
         return addr in self._blocks
@@ -50,19 +118,34 @@ class FunctionalStore:
 class NullStore:
     """Timing-only stand-in with the same interface; stores nothing."""
 
+    __slots__ = ("block_bytes", "_zero")
+
     def __init__(self, block_bytes: int) -> None:
         self.block_bytes = block_bytes
+        self._zero = bytes(block_bytes)
 
     def write(self, addr: int, data: Optional[bytes]) -> None:
         pass
 
     def read(self, addr: int) -> bytes:
-        return bytes(self.block_bytes)
+        return self._zero
+
+    def write_run(self, addr: int, count: int, data: RunData) -> None:
+        pass
+
+    def read_run(self, addr: int, count: int) -> bytes:
+        return self._zero * count
+
+    def copy_run(self, src: int, dst: int, count: int) -> None:
+        pass
 
     def copy_block(self, src: int, dst: int) -> None:
         pass
 
     def erase(self) -> None:
+        pass
+
+    def msync(self) -> None:
         pass
 
     def __contains__(self, addr: int) -> bool:

@@ -18,9 +18,12 @@ workload the previous entries did.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
+import shutil
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional
@@ -47,14 +50,38 @@ SCHEMA = {
 
 
 def _run_cell(workload: str, system: str, ops: int,
-              config: Optional[SystemConfig] = None) -> Dict[str, object]:
-    """Time one (workload, system) cell; returns its measurement row."""
+              config: Optional[SystemConfig] = None,
+              store: str = "auto") -> Dict[str, object]:
+    """Time one (workload, system) cell; returns its measurement row.
+
+    ``store`` overrides the functional-store backend — the perf axis
+    that prices the mmap-backed store's per-service cost against the
+    default in-memory stores (docs/PERSISTENCE.md).  An mmap cell gets
+    a throwaway image directory, removed after the measurement.
+    """
     config = config if config is not None else experiment_config()
+    store_dir: Optional[str] = None
+    if store == "mmap":
+        store_dir = tempfile.mkdtemp(prefix="repro-perf-store-")
+        # msync "none": the axis prices the store *service* surface
+        # (every splice still lands in the OS page cache — the SIGKILL
+        # durability boundary crashproc tests).  Commit-time medium
+        # flushes are synchronous disk I/O, a durability knob priced
+        # by the --msync flag on real runs, not a service-path cost.
+        config = dataclasses.replace(config, store_mode="mmap",
+                                     store_dir=store_dir,
+                                     msync_policy="none")
+    elif store != "auto":
+        config = dataclasses.replace(config, store_mode=store)
     trace = micro_spec(workload, MICRO_FOOTPRINT, ops, seed=SEED).build()
-    machine = build_system(system, config)
-    started = time.perf_counter()
-    result = execute(machine, trace)
-    wall = time.perf_counter() - started
+    try:
+        machine = build_system(system, config)
+        started = time.perf_counter()
+        result = execute(machine, trace)
+        wall = time.perf_counter() - started
+    finally:
+        if store_dir is not None:
+            shutil.rmtree(store_dir, ignore_errors=True)
     stats = result.stats
     requests = (stats.nvm_reads.total() + stats.nvm_writes.total()
                 + stats.dram_reads.total() + stats.dram_writes.total())
@@ -84,13 +111,14 @@ def run_perf(ops: Optional[int] = None, quick: bool = False,
              label: Optional[str] = None,
              systems: Iterable[str] = PERF_SYSTEMS,
              workloads: Iterable[str] = PERF_WORKLOADS,
+             store: str = "auto",
              progress=None) -> Dict[str, object]:
     """Run the full matrix; return one trajectory entry."""
     ops = ops if ops is not None else (QUICK_OPS if quick else DEFAULT_OPS)
     cells: List[Dict[str, object]] = []
     matrix = [(w, s) for w in workloads for s in systems]
     for index, (workload, system) in enumerate(matrix):
-        cell = _run_cell(workload, system, ops)
+        cell = _run_cell(workload, system, ops, store=store)
         cells.append(cell)
         if progress is not None:
             progress(index, len(matrix), cell)
@@ -101,6 +129,7 @@ def run_perf(ops: Optional[int] = None, quick: bool = False,
     return {
         "label": label or ("quick" if quick else "full"),
         "mode": "quick" if quick else "full",
+        "store": store,
         "ops": ops,
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
@@ -155,17 +184,20 @@ def find_baseline(trajectory: Dict[str, object],
                   mode: Optional[str] = None,
                   ops: Optional[int] = None,
                   shape: Optional[tuple] = None,
+                  store: Optional[str] = None,
                   ) -> Optional[Dict[str, object]]:
     """Most recent entry measuring the *same thing*: same mode, same
-    trace length, same (workload, system) matrix.
+    trace length, same (workload, system) matrix, same store backend.
 
     Events/sec depends on every one of those — a quick (3k-op) run
     compared against a full (12k-op) baseline reports a phantom
-    regression or a phantom win, and a partial matrix is not comparable
-    to the full one.  Entries that don't match every provided criterion
-    are skipped, and when nothing matches (including an empty or
-    missing trajectory) the result is simply "no baseline" — never a
-    cross-mode fallback.
+    regression or a phantom win, a partial matrix is not comparable
+    to the full one, and an mmap-store run prices real file-splice
+    work the in-memory stores never do.  Entries that don't match
+    every provided criterion are skipped, and when nothing matches
+    (including an empty or missing trajectory) the result is simply
+    "no baseline" — never a cross-mode fallback.  Entries recorded
+    before the store axis existed count as ``"auto"``.
     """
     entries = trajectory.get("entries") or []
     if not isinstance(entries, list):
@@ -180,6 +212,8 @@ def find_baseline(trajectory: Dict[str, object],
         if ops is not None and entry.get("ops") != ops:
             continue
         if shape is not None and _matrix_shape(entry) != shape:
+            continue
+        if store is not None and entry.get("store", "auto") != store:
             continue
         return entry
     return None
@@ -204,11 +238,14 @@ def main(args) -> int:
               f"{cell['wall_seconds']:7.3f}s "
               f"{cell['events_per_sec']:>9,d} ev/s", file=sys.stderr)
 
+    store = getattr(args, "store", None) or "auto"
     entry = run_perf(ops=args.ops, quick=args.quick, label=args.label,
+                     store=store,
                      progress=None if args.json else progress)
     path = Path(args.output)
     baseline = find_baseline(load_trajectory(path), mode=entry["mode"],
-                             ops=entry["ops"], shape=_matrix_shape(entry))
+                             ops=entry["ops"], shape=_matrix_shape(entry),
+                             store=store)
 
     if args.json:
         print(json.dumps(entry, indent=2, sort_keys=True))

@@ -68,3 +68,31 @@ def test_taxonomy_anchors_effect_kinds_to_static_sites():
             assert entry["static_sites"], (
                 f"probe kind {kind!r} claims effects "
                 f"{entry['effects']} but anchors no static site")
+
+
+def test_crash_surface_is_identical_in_every_store_mode(tmp_path):
+    """The runtime crash surface does not depend on the store backend.
+
+    ``coverage_gaps()`` is a static check, but a backend that skipped
+    (or doubled) a probe site — say an mmap path that serviced commit
+    records without the ``store-sync`` fence — would shift the dynamic
+    census while the static check stayed green.  Pin both: gaps stay
+    empty, and the per-site occurrence counts are byte-identical across
+    functional, mmap and null backends, store-sync included.
+    """
+    import dataclasses
+
+    from repro.fuzz.runner import census, fuzz_config
+
+    assert coverage_gaps() == {}
+    counts = {}
+    for mode in ("functional", "mmap", "null"):
+        store_dir = tmp_path / mode
+        store_dir.mkdir()
+        config = dataclasses.replace(fuzz_config(), store_mode=mode,
+                                     store_dir=str(store_dir))
+        counts[mode] = census("thynvm", "sparse", seed=1, epochs=3,
+                              blocks=16, config=config)
+        assert any(key.startswith("store-sync") for key in counts[mode]), \
+            f"store mode {mode!r} never fired the store-sync fence"
+    assert counts["functional"] == counts["mmap"] == counts["null"]
